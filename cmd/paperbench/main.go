@@ -1,0 +1,85 @@
+// Command paperbench regenerates the paper's evaluation: every figure
+// and table of §VIII and §IX, printed as text tables (and optionally
+// written to files).
+//
+// Usage:
+//
+//	paperbench                       # everything at medium scale
+//	paperbench -scale full           # the EXPERIMENTS.md setting
+//	paperbench -only figure11,shadow # a subset
+//	paperbench -out results/         # also write one file per section
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"vdirect"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "medium", "simulation scale: small|medium|full")
+		only      = flag.String("only", "", "comma-separated section subset (figure1,figure11,figure12,figure13,sectionVIII,breakdown,tableIV,shadow,sharing,energy,tableII,tableIII)")
+		outDir    = flag.String("out", "", "directory to write per-section files into")
+		trials    = flag.Int("fig13-trials", 30, "trials per escape-filter point")
+	)
+	flag.Parse()
+
+	var scale vdirect.Scale
+	switch *scaleName {
+	case "small":
+		scale = vdirect.ScaleSmall
+	case "medium":
+		scale = vdirect.ScaleMedium
+	case "full":
+		scale = vdirect.ScaleFull
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scaleName))
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, s := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(s)] = true
+		}
+	}
+
+	start := time.Now()
+	report, err := vdirect.ReproduceAll(scale, *trials)
+	if err != nil {
+		fatal(err)
+	}
+	for _, sec := range report.Sections {
+		if len(want) > 0 && !want[sec.Name] {
+			continue
+		}
+		fmt.Println(sec.Text)
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*outDir, sec.Name+".txt")
+			if err := os.WriteFile(path, []byte(sec.Text), 0o644); err != nil {
+				fatal(err)
+			}
+			if sec.CSV != "" {
+				csvPath := filepath.Join(*outDir, sec.Name+".csv")
+				if err := os.WriteFile(csvPath, []byte(sec.CSV), 0o644); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	}
+	fmt.Printf("— paperbench completed in %s at %s scale —\n",
+		time.Since(start).Round(time.Second), *scaleName)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paperbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+// Command tracestat characterizes workload traces: footprint, page-
+// level locality, read/write mix, and allocation churn. It is the tool
+// used to validate that each Table V generator reproduces its
+// namesake's memory behaviour.
+//
+// Usage:
+//
+//	tracestat                       # all workloads, default sizing
+//	tracestat -workload graph500 -mem 512 -ops 1000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vdirect/internal/addr"
+	"vdirect/internal/stats"
+	"vdirect/internal/trace"
+	"vdirect/internal/workload"
+)
+
+func main() {
+	var (
+		name = flag.String("workload", "", "single workload (default: all)")
+		mem  = flag.Int("mem", 256, "working-set MB")
+		ops  = flag.Int("ops", 500000, "accesses to generate")
+		seed = flag.Uint64("seed", 1, "trace seed")
+	)
+	flag.Parse()
+
+	names := workload.Names()
+	if *name != "" {
+		if !workload.Exists(*name) {
+			fmt.Fprintf(os.Stderr, "tracestat: unknown workload %q\n", *name)
+			os.Exit(1)
+		}
+		names = []string{*name}
+	}
+
+	t := stats.NewTable("Workload trace characteristics",
+		"workload", "class", "CPI", "footprint", "accesses",
+		"uniq 4K pages", "pages/1K acc", "writes", "allocs", "stack frac")
+	for _, n := range names {
+		w := workload.New(n, workload.Config{Seed: *seed, MemoryMB: *mem, Ops: *ops})
+		var (
+			accesses, writes, allocs, stack uint64
+			pages                           = map[uint64]struct{}{}
+		)
+		for {
+			ev, ok := w.Next()
+			if !ok {
+				break
+			}
+			switch ev.Kind {
+			case trace.Access:
+				accesses++
+				pages[uint64(ev.VA)>>addr.PageShift4K] = struct{}{}
+				if ev.Write {
+					writes++
+				}
+				if uint64(ev.VA) >= workload.StackBase && uint64(ev.VA) < workload.StackBase+workload.StackSize {
+					stack++
+				}
+			case trace.Alloc:
+				allocs++
+			}
+		}
+		t.AddRow(n, w.Class().String(),
+			fmt.Sprintf("%.2f", w.BaseCPI()),
+			fmt.Sprintf("%dMB", w.PrimaryRegion().Size>>20),
+			fmt.Sprint(accesses),
+			fmt.Sprint(len(pages)),
+			fmt.Sprintf("%.2f", float64(len(pages))/float64(accesses)*1000),
+			stats.Percent(float64(writes)/float64(accesses)),
+			fmt.Sprint(allocs),
+			stats.Percent(float64(stack)/float64(accesses)))
+	}
+	fmt.Print(t.Render())
+}

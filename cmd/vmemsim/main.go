@@ -1,0 +1,77 @@
+// Command vmemsim runs one workload under one translation configuration
+// and prints the translation statistics — the simulator's equivalent of
+// a single perf-instrumented run from the paper's methodology (§VII).
+//
+// Usage:
+//
+//	vmemsim -workload graph500 -config 4K+VD -scale medium
+//	vmemsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vdirect"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "gups", "workload to run (see -list)")
+		config       = flag.String("config", "4K+4K", `configuration label: 4K|2M|1G|THP|DS|A+B|A+VD|A+GD|DD`)
+		scaleName    = flag.String("scale", "medium", "simulation scale: small|medium|full")
+		list         = flag.Bool("list", false, "list workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range vdirect.Workloads() {
+			fmt.Println(n)
+		}
+		return
+	}
+	scale, err := parseScale(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := vdirect.RunCell(*workloadName, *config, scale)
+	if err != nil {
+		fatal(err)
+	}
+	st := res.Stats
+	fmt.Printf("workload            %s\n", *workloadName)
+	fmt.Printf("configuration       %s (%v)\n", *config, res.Spec.Mode)
+	fmt.Printf("measured accesses   %d\n", res.Accesses)
+	fmt.Printf("translation overhead %.2f%%\n", res.Overhead*100)
+	fmt.Printf("walk cycles         %d\n", res.WalkCycles)
+	fmt.Printf("ideal cycles        %.0f\n", res.IdealCycles)
+	fmt.Println()
+	fmt.Printf("L1 TLB   hits %-12d misses %d\n", st.L1Hits, st.L1Misses)
+	fmt.Printf("L2 TLB   hits %-12d misses %d\n", st.L2Hits, st.L2Misses)
+	fmt.Printf("walks    %-12d 0D walks %d\n", st.Walks, st.ZeroDWalks)
+	fmt.Printf("walk memory references  %d\n", st.WalkMemRefs)
+	fmt.Printf("segment checks          %d\n", st.SegmentChecks)
+	fmt.Printf("nested TLB  hits %-8d misses %d  walks %d\n",
+		st.NestedTLBHits, st.NestedTLBMisses, st.NestedWalks)
+	fmt.Printf("escape filter probes %-6d taken %d\n", st.EscapeProbes, st.EscapeTaken)
+	fmt.Printf("miss classes  both=%d vmm-only=%d guest-only=%d neither=%d\n",
+		st.MissBoth, st.MissVMMOnly, st.MissGuestOnly, st.MissNeither)
+}
+
+func parseScale(s string) (vdirect.Scale, error) {
+	switch s {
+	case "small":
+		return vdirect.ScaleSmall, nil
+	case "medium":
+		return vdirect.ScaleMedium, nil
+	case "full":
+		return vdirect.ScaleFull, nil
+	}
+	return 0, fmt.Errorf("vmemsim: unknown scale %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vmemsim:", err)
+	os.Exit(1)
+}

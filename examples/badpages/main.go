@@ -1,0 +1,60 @@
+// Badpages: a single faulty physical page would normally forbid a
+// multi-gigabyte direct segment. The escape filter (§V) lets the faulty
+// pages escape to conventional paging while the rest of the segment
+// keeps its 0D translation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vdirect"
+)
+
+func main() {
+	s, err := vdirect.NewSystem(vdirect.Config{
+		Mode:        vdirect.DualDirect,
+		GuestMemory: 512 << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := s.CreatePrimaryRegion(128 << 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, _, gOff, _ := s.GuestSegment()
+
+	// 16 pages inside the segment develop hard faults — the paper's
+	// pessimistic case.
+	var bad []uint64
+	for i := uint64(0); i < 16; i++ {
+		gva := base + (i*7919+13)*4096%(128<<20)
+		bad = append(bad, gva+gOff) // the backing gPA
+	}
+	if err := s.EscapeBadPages(bad); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("escaped %d faulty pages through the 256-bit filter\n", len(bad))
+
+	// Touch the whole region: escaped pages take the paging path, all
+	// others keep the 0D segment path.
+	s.ResetStats()
+	for off := uint64(0); off < 128<<20; off += 4096 {
+		if _, _, err := s.Access(base + off); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	pages := uint64(128 << 20 / 4096)
+	// An escaping page probes the filter twice: once at the 0D check
+	// and once inside the walk's nested translation.
+	escapedPages := st.EscapeTaken / 2
+	fmt.Printf("touched %d pages: %d translated 0D, %d escaped to paging\n",
+		pages, st.ZeroDWalks, escapedPages)
+	fpRate := float64(escapedPages-16) / float64(pages)
+	fmt.Printf("false-positive rate: %.4f%% (paper: near zero for a 256-bit filter at 16 pages)\n",
+		fpRate*100)
+	fmt.Printf("walk cycles spent on escapes: %d — negligible next to the segment's savings\n",
+		st.WalkCycles)
+}

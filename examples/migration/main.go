@@ -1,0 +1,63 @@
+// Migration: why Guest Direct keeps nested page tables. A VM mapped by
+// a VMM segment is pinned to one host range and cannot live-migrate;
+// the same VM under Guest Direct (guest segment + nested paging)
+// migrates with iterative pre-copy driven by nested-table dirty bits.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vdirect/internal/addr"
+	"vdirect/internal/vmm"
+)
+
+func main() {
+	src := vmm.NewHost(512 << 20)
+	dst := vmm.NewHost(512 << 20)
+	vm, err := src.CreateVM(vmm.VMConfig{
+		Name: "bigmem", MemorySize: 128 << 20,
+		NestedPageSize: addr.Page4K, ContiguousBacking: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Dual Direct configuration: VMM segment live → migration refused.
+	if _, err := vm.TryEnableVMMSegment(); err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := src.Migrate(vm, dst, nil, 16, 8); err != vmm.ErrSegmentPinned {
+		log.Fatalf("expected pinning, got %v", err)
+	}
+	fmt.Println("Dual Direct: VMM segment pins guest memory — live migration refused")
+
+	// Transition to Guest Direct: drop the VMM segment; nested paging
+	// carries translation while the guest segment keeps walks at 1D.
+	vm.DisableVMMSegment()
+	fmt.Println("switched to Guest Direct (VMM segment disabled, nested paging active)")
+
+	// The guest keeps running during pre-copy, dirtying pages; the
+	// nested table's dirty bits track them per pass.
+	for i := uint64(0); i < 4096; i++ {
+		if err := vm.MarkDirty((i * 37 % 32768) << 12); err != nil {
+			log.Fatal(err)
+		}
+	}
+	migrated, rep, err := src.Migrate(vm, dst, nil, 16, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pre-copy passes: %d (pages per pass: %v)\n", rep.Passes(), rep.PassPages)
+	fmt.Printf("stop-and-copy downtime: %d pages\n", rep.DowntimePages)
+	fmt.Printf("total page copies: %d\n", rep.TotalCopied)
+
+	// The destination VM is fully backed.
+	missing := 0
+	for gpa := uint64(0); gpa < 128<<20; gpa += addr.PageSize4K {
+		if _, _, ok := migrated.NPT.Translate(gpa); !ok {
+			missing++
+		}
+	}
+	fmt.Printf("destination backing check: %d missing pages\n", missing)
+}

@@ -1,0 +1,62 @@
+// Modeswitch: walks the Table III policy — which translation mode to
+// run now and which to transition to as fragmentation remedies
+// (self-ballooning, host compaction) complete — and then performs one
+// of the transitions live on a simulated host.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"vdirect"
+	"vdirect/internal/addr"
+	"vdirect/internal/trace"
+	"vdirect/internal/vmm"
+)
+
+func main() {
+	fmt.Println("Table III policy:")
+	fmt.Println(strings.TrimRight(vdirect.TableIII(), "\n"))
+	fmt.Println()
+
+	// Live transition: big-memory workload, host fragmented.
+	plan := vmm.PlanModes(vmm.BigMemory, vmm.FragState{HostFragmented: true})
+	fmt.Printf("scenario: big-memory VM on a fragmented host\n")
+	fmt.Printf("policy: start in %v, converge to %v via %v\n\n",
+		plan.Initial, plan.Final, plan.Techniques)
+
+	host := vmm.NewHost(1 << 30)
+	rng := trace.NewRand(3)
+	junk := host.Mem.FragmentRandomly(0.3, rng.Uint64n)
+	vm, err := host.CreateVM(vmm.VMConfig{
+		Name: "bigmem", MemorySize: 256 << 20, NestedPageSize: addr.Page4K,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, f := range junk {
+		if i%2 == 1 {
+			host.Mem.FreeFrame(f)
+		}
+	}
+
+	if _, err := vm.TryEnableVMMSegment(); err != nil {
+		fmt.Println("phase 1: VMM segment unavailable → run Guest Direct (guest segment + nested paging)")
+	} else {
+		fmt.Println("phase 1: host had room; Dual Direct immediately")
+		return
+	}
+
+	moved, err := host.Compact()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("phase 2: compaction daemon relocated %d frames in the background\n", moved)
+
+	seg, err := vm.TryEnableVMMSegment()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("phase 3: VMM segment %v programmed → mode is now %v\n", seg, plan.Final)
+}

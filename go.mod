@@ -1,0 +1,3 @@
+module vdirect
+
+go 1.22

@@ -1,0 +1,18 @@
+package vdirect
+
+import (
+	"vdirect/internal/physmem"
+	"vdirect/internal/trace"
+)
+
+// guestosMemory builds the physical memory for native systems.
+func guestosMemory(size uint64) *physmem.Memory {
+	return physmem.New(physmem.Config{Name: "machine", Size: size})
+}
+
+// newSeededPicker adapts the deterministic PRNG to the picker signature
+// fragmentation injection uses.
+func newSeededPicker(seed uint64) func(n uint64) uint64 {
+	r := trace.NewRand(seed)
+	return r.Uint64n
+}

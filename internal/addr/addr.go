@@ -1,0 +1,194 @@
+// Package addr defines the address types and x86-64 page geometry used
+// throughout the simulator.
+//
+// Three distinct address spaces appear in virtualized translation:
+//
+//	gVA — guest virtual address   (what a guest application issues)
+//	gPA — guest physical address  (what the guest OS believes is RAM)
+//	hPA — host physical address   (actual machine RAM)
+//
+// The types are distinct so that the compiler rejects accidental mixing
+// of dimensions, which is exactly the class of bug a 2D page-walk
+// simulator is prone to.
+package addr
+
+import "fmt"
+
+// GVA is a guest virtual address.
+type GVA uint64
+
+// GPA is a guest physical address.
+type GPA uint64
+
+// HPA is a host physical address.
+type HPA uint64
+
+// VA and PA are used by the unvirtualized (native) translation path.
+// Native runs treat the guest virtual space as the process virtual space
+// and the guest physical space as machine memory, so they alias GVA/GPA.
+type (
+	VA = GVA
+	PA = GPA
+)
+
+// Page sizes supported by x86-64.
+const (
+	PageShift4K = 12
+	PageShift2M = 21
+	PageShift1G = 30
+
+	PageSize4K uint64 = 1 << PageShift4K
+	PageSize2M uint64 = 1 << PageShift2M
+	PageSize1G uint64 = 1 << PageShift1G
+)
+
+// PageSize identifies one of the three x86-64 page sizes.
+type PageSize uint8
+
+// Supported page sizes, ordered smallest to largest.
+const (
+	Page4K PageSize = iota
+	Page2M
+	Page1G
+)
+
+// Bytes returns the size of the page in bytes.
+func (s PageSize) Bytes() uint64 {
+	switch s {
+	case Page4K:
+		return PageSize4K
+	case Page2M:
+		return PageSize2M
+	case Page1G:
+		return PageSize1G
+	}
+	panic(fmt.Sprintf("addr: invalid page size %d", s))
+}
+
+// Shift returns log2 of the page size.
+func (s PageSize) Shift() uint {
+	switch s {
+	case Page4K:
+		return PageShift4K
+	case Page2M:
+		return PageShift2M
+	case Page1G:
+		return PageShift1G
+	}
+	panic(fmt.Sprintf("addr: invalid page size %d", s))
+}
+
+func (s PageSize) String() string {
+	switch s {
+	case Page4K:
+		return "4K"
+	case Page2M:
+		return "2M"
+	case Page1G:
+		return "1G"
+	}
+	return fmt.Sprintf("PageSize(%d)", uint8(s))
+}
+
+// Mask returns the mask selecting the in-page offset bits.
+func (s PageSize) Mask() uint64 { return s.Bytes() - 1 }
+
+// x86-64 canonical 4-level paging covers 48 bits of virtual address.
+const (
+	VirtualBits   = 48
+	VirtualSpan   = uint64(1) << VirtualBits // 256 TB
+	levelBits     = 9
+	entriesPerLvl = 1 << levelBits // 512
+)
+
+// Levels of the x86-64 page table radix tree, root first.
+const (
+	LvlPML4 = 0 // bits 47:39
+	LvlPDPT = 1 // bits 38:30
+	LvlPD   = 2 // bits 29:21
+	LvlPT   = 3 // bits 20:12
+	Levels  = 4
+)
+
+// LevelName returns the conventional x86-64 name for a walk level.
+func LevelName(level int) string {
+	switch level {
+	case LvlPML4:
+		return "PML4"
+	case LvlPDPT:
+		return "PDPT"
+	case LvlPD:
+		return "PD"
+	case LvlPT:
+		return "PT"
+	}
+	return fmt.Sprintf("L%d", level)
+}
+
+// Index extracts the 9-bit page-table index for the given level from a
+// virtual address, exactly as the x86-64 page walker does.
+func Index(v uint64, level int) uint {
+	shift := PageShift4K + levelBits*(Levels-1-level)
+	return uint(v>>shift) & (entriesPerLvl - 1)
+}
+
+// EntriesPerTable is the number of entries in one x86-64 page table page.
+const EntriesPerTable = entriesPerLvl
+
+// PageBase returns the address rounded down to the page boundary.
+func PageBase(v uint64, s PageSize) uint64 { return v &^ s.Mask() }
+
+// PageNumber returns the page frame/page number for the address.
+func PageNumber(v uint64, s PageSize) uint64 { return v >> s.Shift() }
+
+// Offset returns the in-page offset of the address.
+func Offset(v uint64, s PageSize) uint64 { return v & s.Mask() }
+
+// IsAligned reports whether v is aligned to the page size.
+func IsAligned(v uint64, s PageSize) bool { return v&s.Mask() == 0 }
+
+// AlignUp rounds v up to the next multiple of align (a power of two).
+func AlignUp(v, align uint64) uint64 { return (v + align - 1) &^ (align - 1) }
+
+// AlignDown rounds v down to a multiple of align (a power of two).
+func AlignDown(v, align uint64) uint64 { return v &^ (align - 1) }
+
+// The x86-64 I/O gap: physical addresses in roughly the last quarter of
+// the 32-bit space are reserved for memory-mapped I/O, so DRAM backing
+// is split around it (§IV of the paper, "Reclaiming I/O gap memory").
+const (
+	IOGapStart uint64 = 3 << 30 // 3 GB
+	IOGapEnd   uint64 = 4 << 30 // 4 GB
+	IOGapSize         = IOGapEnd - IOGapStart
+)
+
+// InIOGap reports whether a physical address falls inside the I/O gap.
+func InIOGap(p uint64) bool { return p >= IOGapStart && p < IOGapEnd }
+
+// Range is a half-open address range [Start, Start+Size).
+type Range struct {
+	Start uint64
+	Size  uint64
+}
+
+// End returns the first address past the range.
+func (r Range) End() uint64 { return r.Start + r.Size }
+
+// Contains reports whether v lies inside the range.
+func (r Range) Contains(v uint64) bool { return v >= r.Start && v < r.End() }
+
+// Overlaps reports whether two ranges share any address.
+func (r Range) Overlaps(o Range) bool {
+	return r.Start < o.End() && o.Start < r.End()
+}
+
+// Empty reports whether the range has zero size.
+func (r Range) Empty() bool { return r.Size == 0 }
+
+func (r Range) String() string {
+	return fmt.Sprintf("[%#x, %#x)", r.Start, r.End())
+}
+
+// Pages returns how many pages of size s the range spans, assuming the
+// range is aligned; callers validate alignment separately.
+func (r Range) Pages(s PageSize) uint64 { return r.Size >> s.Shift() }

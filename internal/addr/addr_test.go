@@ -1,0 +1,198 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageSizeBytes(t *testing.T) {
+	cases := []struct {
+		s     PageSize
+		bytes uint64
+		shift uint
+		name  string
+	}{
+		{Page4K, 4096, 12, "4K"},
+		{Page2M, 2 << 20, 21, "2M"},
+		{Page1G, 1 << 30, 30, "1G"},
+	}
+	for _, c := range cases {
+		if got := c.s.Bytes(); got != c.bytes {
+			t.Errorf("%v.Bytes() = %d, want %d", c.s, got, c.bytes)
+		}
+		if got := c.s.Shift(); got != c.shift {
+			t.Errorf("%v.Shift() = %d, want %d", c.s, got, c.shift)
+		}
+		if got := c.s.String(); got != c.name {
+			t.Errorf("%v.String() = %q, want %q", c.s, got, c.name)
+		}
+		if got := c.s.Mask(); got != c.bytes-1 {
+			t.Errorf("%v.Mask() = %#x, want %#x", c.s, got, c.bytes-1)
+		}
+	}
+}
+
+func TestInvalidPageSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bytes() on invalid PageSize did not panic")
+		}
+	}()
+	_ = PageSize(9).Bytes()
+}
+
+func TestIndexDecomposition(t *testing.T) {
+	// 0x0000_7fff_ffff_f000 has every index = 511.
+	v := uint64(VirtualSpan - PageSize4K)
+	for lvl := 0; lvl < Levels; lvl++ {
+		if got := Index(v, lvl); got != 511 {
+			t.Errorf("Index(top, %s) = %d, want 511", LevelName(lvl), got)
+		}
+	}
+	if got := Index(0, LvlPML4); got != 0 {
+		t.Errorf("Index(0, PML4) = %d, want 0", got)
+	}
+	// A single 4K page step changes only the PT index.
+	a, b := uint64(0x12345000), uint64(0x12346000)
+	if Index(a, LvlPT)+1 != Index(b, LvlPT) {
+		t.Errorf("PT index did not advance by one page: %d vs %d",
+			Index(a, LvlPT), Index(b, LvlPT))
+	}
+	for _, lvl := range []int{LvlPML4, LvlPDPT, LvlPD} {
+		if Index(a, lvl) != Index(b, lvl) {
+			t.Errorf("%s index changed across adjacent pages", LevelName(lvl))
+		}
+	}
+}
+
+func TestIndexReconstruction(t *testing.T) {
+	// Recomposing the four indices plus offset must reproduce the address.
+	f := func(raw uint64) bool {
+		v := raw % VirtualSpan
+		var rebuilt uint64
+		for lvl := 0; lvl < Levels; lvl++ {
+			shift := PageShift4K + 9*(Levels-1-lvl)
+			rebuilt |= uint64(Index(v, lvl)) << shift
+		}
+		rebuilt |= Offset(v, Page4K)
+		return rebuilt == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevelNames(t *testing.T) {
+	want := []string{"PML4", "PDPT", "PD", "PT"}
+	for i, w := range want {
+		if got := LevelName(i); got != w {
+			t.Errorf("LevelName(%d) = %q, want %q", i, got, w)
+		}
+	}
+	if got := LevelName(7); got != "L7" {
+		t.Errorf("LevelName(7) = %q, want L7", got)
+	}
+}
+
+func TestAlignmentHelpers(t *testing.T) {
+	if PageBase(0x12345678, Page4K) != 0x12345000 {
+		t.Error("PageBase 4K wrong")
+	}
+	if PageBase(0x12345678, Page2M) != 0x12200000 {
+		t.Error("PageBase 2M wrong")
+	}
+	if PageNumber(0x12345678, Page4K) != 0x12345 {
+		t.Error("PageNumber wrong")
+	}
+	if Offset(0x12345678, Page4K) != 0x678 {
+		t.Error("Offset wrong")
+	}
+	if !IsAligned(0x200000, Page2M) || IsAligned(0x201000, Page2M) {
+		t.Error("IsAligned 2M wrong")
+	}
+	if AlignUp(5, 4) != 8 || AlignUp(8, 4) != 8 {
+		t.Error("AlignUp wrong")
+	}
+	if AlignDown(5, 4) != 4 || AlignDown(8, 4) != 8 {
+		t.Error("AlignDown wrong")
+	}
+}
+
+func TestAlignProperties(t *testing.T) {
+	f := func(v uint64, shiftSeed uint8) bool {
+		shift := uint(shiftSeed % 31)
+		align := uint64(1) << shift
+		v %= 1 << 40
+		up, down := AlignUp(v, align), AlignDown(v, align)
+		return down <= v && v <= up &&
+			up-down < align+align &&
+			up%align == 0 && down%align == 0 &&
+			up-v < align && v-down < align
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIOGap(t *testing.T) {
+	if InIOGap(IOGapStart - 1) {
+		t.Error("address below gap reported inside")
+	}
+	if !InIOGap(IOGapStart) || !InIOGap(IOGapEnd-1) {
+		t.Error("gap boundary handling wrong")
+	}
+	if InIOGap(IOGapEnd) {
+		t.Error("address above gap reported inside")
+	}
+	if IOGapSize != 1<<30 {
+		t.Errorf("IOGapSize = %d, want 1GB", IOGapSize)
+	}
+}
+
+func TestRange(t *testing.T) {
+	r := Range{Start: 0x1000, Size: 0x2000}
+	if r.End() != 0x3000 {
+		t.Errorf("End = %#x", r.End())
+	}
+	if !r.Contains(0x1000) || !r.Contains(0x2fff) {
+		t.Error("Contains rejects member")
+	}
+	if r.Contains(0xfff) || r.Contains(0x3000) {
+		t.Error("Contains accepts non-member")
+	}
+	if r.Empty() {
+		t.Error("non-empty range reported empty")
+	}
+	if !(Range{}).Empty() {
+		t.Error("zero range not empty")
+	}
+	if r.Pages(Page4K) != 2 {
+		t.Errorf("Pages = %d, want 2", r.Pages(Page4K))
+	}
+	if r.String() != "[0x1000, 0x3000)" {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestRangeOverlaps(t *testing.T) {
+	a := Range{Start: 100, Size: 50}
+	cases := []struct {
+		b    Range
+		want bool
+	}{
+		{Range{Start: 0, Size: 100}, false},  // abuts below
+		{Range{Start: 150, Size: 10}, false}, // abuts above
+		{Range{Start: 0, Size: 101}, true},
+		{Range{Start: 149, Size: 10}, true},
+		{Range{Start: 110, Size: 5}, true}, // contained
+		{Range{Start: 90, Size: 80}, true}, // containing
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", a, c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(a); got != c.want {
+			t.Errorf("overlap not symmetric for %v, %v", a, c.b)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package escape
+
+import "testing"
+
+func BenchmarkInsert(b *testing.B) {
+	f := New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Insert(uint64(i))
+	}
+}
+
+func BenchmarkMayContainMiss(b *testing.B) {
+	f := New(1)
+	for i := uint64(0); i < 16; i++ {
+		f.Insert(i * 7919)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MayContain(uint64(i) + 1<<40)
+	}
+}

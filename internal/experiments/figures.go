@@ -1,0 +1,190 @@
+// Figure drivers: one function per figure in the paper's evaluation.
+
+package experiments
+
+import (
+	"fmt"
+
+	"vdirect/internal/stats"
+	"vdirect/internal/workload"
+)
+
+// Row is one bar of a figure: a workload under one configuration.
+type Row struct {
+	Workload string
+	Config   string
+	// Overhead is the address-translation overhead (§VIII metric).
+	Overhead float64
+	Result   Result
+}
+
+// Figure bundles an experiment's rows with a rendered table.
+type Figure struct {
+	ID    string
+	Title string
+	Rows  []Row
+}
+
+// Table renders the figure as fixed-width text, one row per bar.
+func (f Figure) Table() *stats.Table {
+	t := stats.NewTable(fmt.Sprintf("%s — %s", f.ID, f.Title),
+		"workload", "config", "overhead", "walks", "walk-refs", "cyc/walk")
+	for _, r := range f.Rows {
+		cycPerWalk := 0.0
+		if r.Result.Stats.Walks > 0 {
+			cycPerWalk = float64(r.Result.WalkCycles) / float64(r.Result.Stats.Walks)
+		}
+		t.AddRow(r.Workload, r.Config, stats.Percent(r.Overhead),
+			fmt.Sprint(r.Result.Stats.Walks),
+			fmt.Sprint(r.Result.Stats.WalkMemRefs),
+			fmt.Sprintf("%.1f", cycPerWalk))
+	}
+	return t
+}
+
+// Grid renders the figure as a workload × config matrix of overheads,
+// the shape of the paper's bar charts.
+func (f Figure) Grid() *stats.Table {
+	var configs []string
+	seenC := map[string]bool{}
+	var wls []string
+	seenW := map[string]bool{}
+	for _, r := range f.Rows {
+		if !seenC[r.Config] {
+			seenC[r.Config] = true
+			configs = append(configs, r.Config)
+		}
+		if !seenW[r.Workload] {
+			seenW[r.Workload] = true
+			wls = append(wls, r.Workload)
+		}
+	}
+	cols := append([]string{"workload"}, configs...)
+	t := stats.NewTable(fmt.Sprintf("%s — %s (overhead %%)", f.ID, f.Title), cols...)
+	for _, w := range wls {
+		row := []string{w}
+		for _, c := range configs {
+			cell := "-"
+			for _, r := range f.Rows {
+				if r.Workload == w && r.Config == c {
+					cell = fmt.Sprintf("%.1f", r.Overhead*100)
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// RunGrid simulates every workload × config cell.
+func RunGrid(workloads, configs []string, scale Scale, seed uint64) ([]Row, error) {
+	var rows []Row
+	for _, wl := range workloads {
+		class := workload.New(wl, workload.Config{MemoryMB: 1, Ops: 1}).Class()
+		for _, label := range configs {
+			spec, err := ParseConfig(label)
+			if err != nil {
+				return nil, err
+			}
+			spec.Workload = wl
+			spec.WL = scale.WLConfig(class, seed)
+			res, err := Run(spec)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s/%s: %w", wl, label, err)
+			}
+			rows = append(rows, Row{Workload: wl, Config: label, Overhead: res.Overhead, Result: res})
+		}
+	}
+	return rows, nil
+}
+
+// Figure1 regenerates the motivation preview: graph500, memcached and
+// GUPS under native 4K, three virtualized paging configurations, and
+// the proposed Dual Direct and VMM Direct modes.
+func Figure1(scale Scale) (Figure, error) {
+	rows, err := RunGrid([]string{"graph500", "memcached", "gups"}, Figure1Configs(), scale, 1)
+	return Figure{ID: "Figure 1", Title: "virtual memory overheads preview", Rows: rows}, err
+}
+
+// Figure11 regenerates the big-memory evaluation: four workloads under
+// four native and nine virtualized configurations.
+func Figure11(scale Scale) (Figure, error) {
+	rows, err := RunGrid(workload.BigMemoryNames(), Figure11Configs(), scale, 1)
+	return Figure{ID: "Figure 11", Title: "big-memory workload overheads", Rows: rows}, err
+}
+
+// Figure12 regenerates the compute-workload evaluation with THP
+// configurations.
+func Figure12(scale Scale) (Figure, error) {
+	rows, err := RunGrid(workload.ComputeNames(), Figure12Configs(), scale, 1)
+	return Figure{ID: "Figure 12", Title: "compute workload overheads", Rows: rows}, err
+}
+
+// Fig13Point is one point of the escape-filter study: mean normalized
+// execution time and its 95% confidence interval over the trials.
+type Fig13Point struct {
+	Workload   string
+	BadPages   int
+	Normalized stats.Summary
+}
+
+// Figure13 regenerates the escape-filter study: each big-memory
+// workload runs in Dual Direct mode with 1-16 faulty pages placed at
+// `trials` different random locations (the paper uses 30), and reports
+// execution time normalized to Dual Direct with no bad pages.
+func Figure13(scale Scale, trials int, badCounts []int) ([]Fig13Point, error) {
+	if trials <= 0 {
+		trials = 30
+	}
+	if len(badCounts) == 0 {
+		badCounts = []int{1, 2, 4, 8, 16}
+	}
+	var points []Fig13Point
+	for _, wl := range workload.BigMemoryNames() {
+		base, err := ParseConfig("DD")
+		if err != nil {
+			return nil, err
+		}
+		base.Workload = wl
+		base.WL = scale.WLConfig(workload.BigMemory, 1)
+		clean, err := Run(base)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: clean DD for %s: %w", wl, err)
+		}
+		cleanT := clean.ExecutionCycles()
+		for _, n := range badCounts {
+			samples := make([]float64, 0, trials)
+			for trial := 0; trial < trials; trial++ {
+				spec := base
+				spec.BadPages = n
+				spec.BadPageSeed = uint64(trial + 1)
+				res, err := Run(spec)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s with %d bad pages: %w", wl, n, err)
+				}
+				samples = append(samples, res.ExecutionCycles()/cleanT)
+			}
+			points = append(points, Fig13Point{
+				Workload:   wl,
+				BadPages:   n,
+				Normalized: stats.Summarize(samples),
+			})
+		}
+	}
+	return points, nil
+}
+
+// Figure13Table renders the escape-filter study.
+func Figure13Table(points []Fig13Point) *stats.Table {
+	t := stats.NewTable("Figure 13 — normalized execution time with bad pages (Dual Direct)",
+		"workload", "bad pages", "normalized time", "95% CI", "slowdown %")
+	for _, p := range points {
+		t.AddRow(p.Workload, fmt.Sprint(p.BadPages),
+			fmt.Sprintf("%.5f", p.Normalized.Mean),
+			fmt.Sprintf("±%.5f", p.Normalized.CI),
+			fmt.Sprintf("%.3f", (p.Normalized.Mean-1)*100))
+	}
+	return t
+}

@@ -1,0 +1,271 @@
+// The simulation runner: builds the full stack for one Spec (host, VM,
+// guest kernel, process, MMU), replays the workload trace through it,
+// and reports the paper's metrics.
+
+package experiments
+
+import (
+	"fmt"
+
+	"vdirect/internal/addr"
+	"vdirect/internal/guestos"
+	"vdirect/internal/mmu"
+	"vdirect/internal/perfmodel"
+	"vdirect/internal/physmem"
+	"vdirect/internal/trace"
+	"vdirect/internal/vmm"
+	"vdirect/internal/workload"
+)
+
+// Result reports one simulation cell.
+type Result struct {
+	Spec Spec
+	// Accesses counted after warmup.
+	Accesses uint64
+	// IdealCycles is Accesses × BaseCPI — the translation-free time.
+	IdealCycles float64
+	// WalkCycles is the measured TLB-miss handling time.
+	WalkCycles uint64
+	// Overhead is WalkCycles / IdealCycles (§VIII metric).
+	Overhead float64
+	// Stats are the raw MMU counters after warmup.
+	Stats mmu.Stats
+}
+
+// ExecutionCycles returns the modeled total execution time.
+func (r Result) ExecutionCycles() float64 {
+	return r.IdealCycles + float64(r.WalkCycles)
+}
+
+// env is the assembled simulation stack for one run.
+type env struct {
+	w      workload.Workload
+	m      *mmu.MMU
+	kernel *guestos.Kernel
+	proc   *guestos.Process
+	host   *vmm.Host
+	vm     *vmm.VM
+}
+
+// Run simulates one Spec end to end.
+func Run(spec Spec) (Result, error) {
+	if spec.WarmupFrac == 0 {
+		spec.WarmupFrac = 0.2
+	}
+	e, err := build(spec)
+	if err != nil {
+		return Result{}, fmt.Errorf("experiments: building %s/%s: %w", spec.Workload, spec.Label, err)
+	}
+	if got := e.m.Mode(); got != spec.Mode {
+		return Result{}, fmt.Errorf("experiments: built mode %v, wanted %v", got, spec.Mode)
+	}
+	return replay(spec, e)
+}
+
+// build assembles the stack for a spec.
+func build(spec Spec) (*env, error) {
+	w := workload.New(spec.Workload, spec.WL)
+	prim := w.PrimaryRegion()
+
+	// Guest physical sizing: the primary region's backing (rounded up
+	// to whole guest pages, plus one spare so an aligned run exists
+	// above the kernel's low allocations) plus head room for page
+	// tables, stack, churn chunks, and bad-page replacement frames.
+	backing := addr.AlignUp(prim.Size, spec.GuestPage.Bytes()) + spec.GuestPage.Bytes()
+	guestSize := addr.AlignUp(backing+160<<20, spec.NestedPage.Bytes())
+
+	e := &env{w: w, m: mmu.New(spec.MMU)}
+
+	if !spec.Mode.Virtualized() {
+		mem := physmem.New(physmem.Config{Name: "machine", Size: guestSize})
+		e.kernel = guestos.NewKernel(mem, nil)
+	} else {
+		hostSize := addr.AlignUp(guestSize+guestSize/4+spec.NestedPage.Bytes()+256<<20, addr.PageSize4K)
+		e.host = vmm.NewHost(hostSize)
+		contig := spec.Mode == mmu.ModeVMMDirect || spec.Mode == mmu.ModeDualDirect
+		vm, err := e.host.CreateVM(vmm.VMConfig{
+			Name:              spec.Workload,
+			MemorySize:        guestSize,
+			NestedPageSize:    spec.NestedPage,
+			ContiguousBacking: contig,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.vm = vm
+		e.kernel = guestos.NewKernel(vm.GuestMem, vm)
+		e.m.SetNestedPageTable(vm.NPT)
+	}
+
+	proc, err := e.kernel.CreateProcess(w.Name())
+	if err != nil {
+		return nil, err
+	}
+	e.proc = proc
+	e.m.SetGuestPageTable(proc.PT)
+
+	// VMM dimension.
+	if spec.Mode == mmu.ModeVMMDirect || spec.Mode == mmu.ModeDualDirect {
+		seg, err := e.vm.TryEnableVMMSegment()
+		if err != nil {
+			return nil, err
+		}
+		e.m.SetVMMSegment(seg)
+	}
+
+	// Guest dimension: segment or paging over the primary region.
+	guestSeg := spec.Mode == mmu.ModeDirectSegment ||
+		spec.Mode == mmu.ModeGuestDirect || spec.Mode == mmu.ModeDualDirect
+	if guestSeg {
+		if err := proc.CreatePrimaryRegionAt(prim); err != nil {
+			return nil, err
+		}
+		e.m.SetGuestSegment(proc.Seg)
+	} else {
+		if err := proc.MMapAt(prim); err != nil {
+			return nil, err
+		}
+		if err := proc.MapRegion(prim, spec.GuestPage); err != nil {
+			return nil, err
+		}
+	}
+
+	// Stack and churn arenas are ordinary paged regions.
+	for _, r := range w.StaticRegions() {
+		if r == prim {
+			continue
+		}
+		if err := proc.MMapAt(r); err != nil {
+			return nil, err
+		}
+	}
+	// Pre-touch the stack (hot from process start).
+	if err := proc.Prefault(addr.Range{Start: workload.StackBase, Size: 32 << 10}); err != nil {
+		return nil, err
+	}
+
+	if spec.BadPages > 0 {
+		if err := injectBadPages(spec, e); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// injectBadPages models hard-faulted host pages inside the VMM segment
+// (Figure 13): each is added to the escape filter and its gPA remapped
+// through nested paging to a healthy frame.
+func injectBadPages(spec Spec, e *env) error {
+	seg := e.m.VMMSegment()
+	if !seg.Enabled() {
+		return fmt.Errorf("experiments: bad-page study needs a VMM segment (mode %v)", spec.Mode)
+	}
+	// Bad pages land inside the primary region's backing — the memory
+	// the workload actually touches.
+	target := e.proc.Seg.TargetRange() // gPA range of the guest segment
+	if target.Empty() {
+		target = addr.Range{Start: 0, Size: e.vm.GuestMem.Size()}
+	}
+	rng := trace.NewRand(spec.BadPageSeed ^ 0xBAD)
+	picked := make(map[uint64]bool, spec.BadPages)
+	for len(picked) < spec.BadPages {
+		gpa := addr.PageBase(target.Start+rng.Uint64n(target.Size), addr.Page4K)
+		if picked[gpa] {
+			continue
+		}
+		picked[gpa] = true
+		e.m.VMMEscapeFilter().Insert(gpa >> addr.PageShift4K)
+		f, err := e.host.Mem.AllocFrame()
+		if err != nil {
+			return fmt.Errorf("experiments: healthy replacement frame: %w", err)
+		}
+		if err := e.vm.NPT.Remap(gpa, physmem.FrameToAddr(f)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replay runs the trace through the MMU, servicing faults like the OS
+// would, with statistics reset at the warmup boundary.
+func replay(spec Spec, e *env) (Result, error) {
+	total := countAccesses(e.w)
+	warmupAt := uint64(float64(total) * spec.WarmupFrac)
+	e.w.Reset()
+
+	var seen, measured uint64
+	for {
+		ev, ok := e.w.Next()
+		if !ok {
+			break
+		}
+		switch ev.Kind {
+		case trace.Access:
+			if err := translate(e, uint64(ev.VA)); err != nil {
+				return Result{}, err
+			}
+			seen++
+			if seen == warmupAt {
+				e.m.ResetStats()
+			}
+			if seen > warmupAt {
+				measured++
+			}
+		case trace.Alloc:
+			// Pages fault in on first touch; nothing eager to do.
+		case trace.Free:
+			r := addr.Range{Start: uint64(ev.VA), Size: ev.Size}
+			if err := e.proc.Unmap(r); err != nil {
+				return Result{}, fmt.Errorf("experiments: free at %#x: %w", ev.VA, err)
+			}
+			for va := r.Start; va < r.End(); va += addr.PageSize4K {
+				e.m.InvalidatePage(va, addr.Page4K)
+			}
+		}
+	}
+
+	st := e.m.Stats()
+	ideal := float64(measured) * e.w.BaseCPI()
+	res := Result{
+		Spec:        spec,
+		Accesses:    measured,
+		IdealCycles: ideal,
+		WalkCycles:  st.WalkCycles,
+		Overhead:    perfmodel.Overhead(float64(st.WalkCycles), ideal),
+		Stats:       st,
+	}
+	return res, nil
+}
+
+// translate runs one access through the MMU, handling demand-paging
+// faults the way the guest kernel would.
+func translate(e *env, va uint64) error {
+	for attempt := 0; attempt < 3; attempt++ {
+		_, fault := e.m.Translate(va)
+		if fault == nil {
+			return nil
+		}
+		if fault.Kind != mmu.FaultGuest {
+			return fmt.Errorf("experiments: unexpected nested fault at gPA %#x", fault.Addr)
+		}
+		if err := e.proc.HandleFault(fault.Addr); err != nil {
+			return fmt.Errorf("experiments: fault at %#x: %w", fault.Addr, err)
+		}
+	}
+	return fmt.Errorf("experiments: access at %#x still faulting after service", va)
+}
+
+// countAccesses sizes the trace so the warmup boundary can be placed.
+func countAccesses(w workload.Workload) uint64 {
+	var n uint64
+	for {
+		ev, ok := w.Next()
+		if !ok {
+			break
+		}
+		if ev.Kind == trace.Access {
+			n++
+		}
+	}
+	return n
+}

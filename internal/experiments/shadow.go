@@ -1,0 +1,216 @@
+// The shadow-paging study (§IX.D): shadow paging eliminates the 2D walk
+// by letting hardware walk a VMM-maintained gVA→hPA shadow table, but
+// every guest page-table change costs a VM exit. The study compares
+// each workload's shadow-paging slowdown (vs native) against VMM
+// Direct's, reproducing the paper's split between allocation-heavy
+// workloads (memcached, GemsFDTD, omnetpp, canneal) and static ones.
+
+package experiments
+
+import (
+	"fmt"
+
+	"vdirect/internal/addr"
+	"vdirect/internal/guestos"
+	"vdirect/internal/mmu"
+	"vdirect/internal/stats"
+	"vdirect/internal/trace"
+	"vdirect/internal/vmm"
+	"vdirect/internal/workload"
+)
+
+// ShadowResult compares shadow paging and VMM Direct for one workload.
+type ShadowResult struct {
+	Workload string
+	// ShadowSlowdown is (T_shadow − T_native) / T_native.
+	ShadowSlowdown float64
+	// VMMDirectSlowdown is (T_vd − T_native) / T_native.
+	VMMDirectSlowdown float64
+	// Exits is the number of VM exits shadow paging took (post-warmup).
+	Exits uint64
+}
+
+// ShadowStudy runs the §IX.D comparison for the given workloads.
+func ShadowStudy(scale Scale, workloads []string) ([]ShadowResult, error) {
+	var out []ShadowResult
+	for _, wl := range workloads {
+		class := workload.New(wl, workload.Config{MemoryMB: 1, Ops: 1}).Class()
+		wlCfg := scale.WLConfig(class, 1)
+
+		run := func(cfg string) (Result, error) {
+			spec, err := ParseConfig(cfg)
+			if err != nil {
+				return Result{}, err
+			}
+			spec.Workload = wl
+			spec.WL = wlCfg
+			return Run(spec)
+		}
+		nat, err := run("4K")
+		if err != nil {
+			return nil, err
+		}
+		vd, err := run("4K+VD")
+		if err != nil {
+			return nil, err
+		}
+		sh, err := runShadow(wl, wlCfg)
+		if err != nil {
+			return nil, err
+		}
+		tn := nat.ExecutionCycles()
+		out = append(out, ShadowResult{
+			Workload:          wl,
+			ShadowSlowdown:    (sh.total - tn) / tn,
+			VMMDirectSlowdown: (vd.ExecutionCycles() - tn) / tn,
+			Exits:             sh.exits,
+		})
+	}
+	return out, nil
+}
+
+type shadowOutcome struct {
+	total float64 // ideal + walk + exit cycles
+	exits uint64
+}
+
+// runShadow replays a workload under shadow paging: a native-mode MMU
+// walks the shadow table; shadow misses and guest PT updates exit to
+// the VMM.
+func runShadow(wl string, wlCfg workload.Config) (shadowOutcome, error) {
+	w := workload.New(wl, wlCfg)
+	prim := w.PrimaryRegion()
+	guestSize := addr.AlignUp(prim.Size+160<<20, addr.PageSize4K)
+	hostSize := addr.AlignUp(guestSize+guestSize/4+256<<20, addr.PageSize4K)
+
+	host := vmm.NewHost(hostSize)
+	vm, err := host.CreateVM(vmm.VMConfig{Name: wl, MemorySize: guestSize, NestedPageSize: addr.Page4K})
+	if err != nil {
+		return shadowOutcome{}, err
+	}
+	kernel := guestos.NewKernel(vm.GuestMem, vm)
+	proc, err := kernel.CreateProcess(wl)
+	if err != nil {
+		return shadowOutcome{}, err
+	}
+	sh, err := vm.NewShadowContext()
+	if err != nil {
+		return shadowOutcome{}, err
+	}
+
+	// Hardware sees only the shadow table: a 1D native walk.
+	m := mmu.New(mmu.Config{})
+	m.SetGuestPageTable(sh.Shadow)
+
+	// Guest mappings: the primary region is paged at 4K (shadow paging
+	// is the software baseline; no segments).
+	if err := proc.MMapAt(prim); err != nil {
+		return shadowOutcome{}, err
+	}
+	if err := proc.MapRegion(prim, addr.Page4K); err != nil {
+		return shadowOutcome{}, err
+	}
+	for _, r := range w.StaticRegions() {
+		if r == prim {
+			continue
+		}
+		if err := proc.MMapAt(r); err != nil {
+			return shadowOutcome{}, err
+		}
+	}
+	if err := proc.Prefault(addr.Range{Start: workload.StackBase, Size: 32 << 10}); err != nil {
+		return shadowOutcome{}, err
+	}
+
+	// Pre-sync the shadow table for everything already mapped: those
+	// one-time first-touch syncs are startup cost, amortized to nothing
+	// over the paper's long executions. Post-warmup exits then measure
+	// steady-state behaviour — guest page-table churn — which is the
+	// §IX.D differentiator.
+	var syncErr error
+	proc.PT.VisitLeaves(func(va, pa uint64, s addr.PageSize) bool {
+		if err := sh.SyncPage(proc.PT, va); err != nil {
+			syncErr = err
+			return false
+		}
+		return true
+	})
+	if syncErr != nil {
+		return shadowOutcome{}, syncErr
+	}
+
+	total := countAccesses(w)
+	warmupAt := uint64(float64(total) * 0.2)
+	w.Reset()
+
+	var seen, measured, exitsAtWarmup uint64
+	for {
+		ev, ok := w.Next()
+		if !ok {
+			break
+		}
+		switch ev.Kind {
+		case trace.Access:
+			va := uint64(ev.VA)
+			for attempt := 0; ; attempt++ {
+				if attempt > 3 {
+					return shadowOutcome{}, fmt.Errorf("experiments: shadow access at %#x stuck", va)
+				}
+				_, fault := m.Translate(va)
+				if fault == nil {
+					break
+				}
+				// One VM exit handles the whole fault: the VMM fields
+				// the guest fault, updates the guest PT if needed, and
+				// syncs the shadow entry.
+				if _, _, mapped := proc.PT.Translate(va); !mapped {
+					if err := proc.HandleFault(va); err != nil {
+						return shadowOutcome{}, err
+					}
+				}
+				if err := sh.SyncPage(proc.PT, va); err != nil {
+					return shadowOutcome{}, err
+				}
+			}
+			seen++
+			if seen == warmupAt {
+				m.ResetStats()
+				exitsAtWarmup, _ = sh.Exits()
+			}
+			if seen > warmupAt {
+				measured++
+			}
+		case trace.Free:
+			r := addr.Range{Start: uint64(ev.VA), Size: ev.Size}
+			if err := proc.Unmap(r); err != nil {
+				return shadowOutcome{}, err
+			}
+			for va := r.Start; va < r.End(); va += addr.PageSize4K {
+				// Each guest PTE clear traps and invalidates shadow state.
+				if err := sh.InvalidatePage(va, addr.Page4K); err != nil {
+					return shadowOutcome{}, err
+				}
+				m.InvalidatePage(va, addr.Page4K)
+			}
+		}
+	}
+	exits, exitCycles := sh.Exits()
+	exits -= exitsAtWarmup
+	exitCycles -= exitsAtWarmup * vmm.DefaultExitCycles
+	ideal := float64(measured) * w.BaseCPI()
+	return shadowOutcome{
+		total: ideal + float64(m.Stats().WalkCycles) + float64(exitCycles),
+		exits: exits,
+	}, nil
+}
+
+// ShadowTable renders the §IX.D comparison.
+func ShadowTable(rows []ShadowResult) *stats.Table {
+	t := stats.NewTable("Section IX.D — shadow paging vs VMM Direct (slowdown vs native)",
+		"workload", "shadow", "VMM Direct", "exits")
+	for _, r := range rows {
+		t.AddRow(r.Workload, stats.Percent(r.ShadowSlowdown),
+			stats.Percent(r.VMMDirectSlowdown), fmt.Sprint(r.Exits))
+	}
+	return t
+}

@@ -1,0 +1,56 @@
+package guestos
+
+import (
+	"testing"
+)
+
+func TestGuardPages(t *testing.T) {
+	k, _ := newKernel(t, 64, false)
+	p, _ := k.CreateProcess("guarded")
+	r, err := p.CreatePrimaryRegion(4 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guard := r.Start + 0x40000
+	var inserted []struct{ va, pa uint64 }
+	err = p.GuardPages([]uint64{guard}, func(vaPFN, paPFN uint64) {
+		inserted = append(inserted, struct{ va, pa uint64 }{vaPFN, paPFN})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inserted) != 1 {
+		t.Fatalf("inserted = %d", len(inserted))
+	}
+	if inserted[0].va != guard>>12 {
+		t.Errorf("va pfn = %#x", inserted[0].va)
+	}
+	if inserted[0].pa != p.Seg.Translate(guard)>>12 {
+		t.Errorf("pa pfn = %#x", inserted[0].pa)
+	}
+	// The guard page must not be mapped: the fault is the feature.
+	if _, _, ok := p.PT.Translate(guard); ok {
+		t.Error("guard page mapped")
+	}
+	if !p.GuardPageHit(guard + 0x123) {
+		t.Error("GuardPageHit missed the armed page")
+	}
+	if p.GuardPageHit(r.Start) {
+		t.Error("GuardPageHit false positive")
+	}
+}
+
+func TestGuardPagesRequireSegment(t *testing.T) {
+	k, _ := newKernel(t, 64, false)
+	p, _ := k.CreateProcess("plain")
+	if err := p.GuardPages([]uint64{0x1000}, func(uint64, uint64) {}); err != ErrNoPrimary {
+		t.Errorf("err = %v", err)
+	}
+	p2, _ := k.CreateProcess("seg")
+	if _, err := p2.CreatePrimaryRegion(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.GuardPages([]uint64{0x1000}, func(uint64, uint64) {}); err == nil {
+		t.Error("guard outside segment accepted")
+	}
+}

@@ -1,0 +1,472 @@
+// Package guestos models the guest operating system: process address
+// spaces with demand paging, the primary-region abstraction that backs
+// guest direct segments (§II.B), and the paper's software contributions
+// on the guest side — the self-ballooning balloon driver and memory
+// hotplug protocol (§IV, §VI.C, Figure 9) and I/O-gap reclamation.
+//
+// The kernel cooperates with a VMM through the VMMBackend interface;
+// package vmm provides the production implementation, and tests use
+// lightweight fakes.
+package guestos
+
+import (
+	"errors"
+	"fmt"
+
+	"vdirect/internal/addr"
+	"vdirect/internal/pagetable"
+	"vdirect/internal/physmem"
+	"vdirect/internal/segment"
+)
+
+// Errors surfaced by kernel operations.
+var (
+	ErrFragmented     = errors.New("guestos: guest physical memory too fragmented for a contiguous region")
+	ErrNoPrimary      = errors.New("guestos: process has no primary region")
+	ErrOutsideVA      = errors.New("guestos: fault outside any mapped region")
+	ErrBackendMissing = errors.New("guestos: operation requires a VMM backend")
+)
+
+// VMMBackend is the hypervisor-side of the balloon/hotplug protocol the
+// self-ballooning design uses (Figure 9 and §VI.C).
+type VMMBackend interface {
+	// Balloon hands pinned guest frames to the VMM, which reclaims
+	// their host backing (and typically unmaps them from the nested
+	// page table).
+	Balloon(frames []uint64) error
+	// HotplugAdd asks the VMM to back size bytes of new contiguous
+	// guest physical address space. The VMM extends the guest physical
+	// space (KVM: extends the high memory slot) and returns the new
+	// range, which arrives offline; the kernel onlines it.
+	HotplugAdd(size uint64) (addr.Range, error)
+	// HotplugRemove tells the VMM the guest has unplugged the range so
+	// its host backing can be reclaimed.
+	HotplugRemove(r addr.Range) error
+}
+
+// Process is one guest process: a page table, a virtual address
+// allocator, and optionally a primary region mapped by a guest segment.
+type Process struct {
+	Name string
+	PT   *pagetable.Table
+	// Seg holds the process's guest direct-segment registers
+	// (BASE_G/LIMIT_G/OFFSET_G); disabled when no segment exists.
+	Seg segment.Registers
+
+	// primary is the primary region in guest virtual space.
+	primary addr.Range
+	// regions tracks mmapped ranges for fault validation.
+	regions []addr.Range
+	// nextVA is the bump allocator for new mappings.
+	nextVA uint64
+
+	kernel *Kernel
+	// guards are armed guard pages (§V extension).
+	guards []uint64
+	// swapped tracks pages resident on the swap device.
+	swapped map[uint64]swapSlot
+	swapIns uint64
+	// EmulateSegment, when set, reproduces the paper's prototype
+	// strategy (§VI.B): the fault handler installs dynamically computed
+	// PTEs for segment-covered addresses instead of relying on segment
+	// hardware. Used to cross-validate hardware vs emulation.
+	EmulateSegment bool
+}
+
+// Kernel is the guest OS: it owns guest physical memory and processes.
+type Kernel struct {
+	Mem     *physmem.Memory
+	backend VMMBackend
+
+	procs []*Process
+	// ballooned tracks frames pinned by the balloon driver.
+	ballooned []uint64
+	// kernelReserve is the low memory kept below the I/O gap after
+	// reclamation (the 256MB Linux needs to boot, §VI.C).
+	kernelReserve addr.Range
+}
+
+// NewKernel boots a guest kernel over the given physical memory.
+// backend may be nil for native (unvirtualized) kernels.
+func NewKernel(mem *physmem.Memory, backend VMMBackend) *Kernel {
+	return &Kernel{Mem: mem, backend: backend}
+}
+
+// CreateProcess allocates a fresh address space.
+func (k *Kernel) CreateProcess(name string) (*Process, error) {
+	pt, err := pagetable.New(k.Mem)
+	if err != nil {
+		return nil, fmt.Errorf("guestos: creating %s: %w", name, err)
+	}
+	p := &Process{
+		Name:   name,
+		PT:     pt,
+		nextVA: 0x4000_0000, // leave low VA for text/stack conventions
+		kernel: k,
+	}
+	k.procs = append(k.procs, p)
+	return p, nil
+}
+
+// Processes returns all live processes.
+func (k *Kernel) Processes() []*Process { return k.procs }
+
+// MMap reserves size bytes of virtual address space (rounded up to 4K)
+// and returns its base. Pages are faulted in on demand.
+func (p *Process) MMap(size uint64) (uint64, error) {
+	size = addr.AlignUp(size, addr.PageSize4K)
+	base := addr.AlignUp(p.nextVA, addr.PageSize2M)
+	p.nextVA = base + size + addr.PageSize2M // guard gap
+	r := addr.Range{Start: base, Size: size}
+	p.regions = append(p.regions, r)
+	return base, nil
+}
+
+// MMapAt registers a virtual region at a caller-chosen base (MAP_FIXED),
+// used by the experiment runner to lay out workload data structures at
+// the addresses their traces reference.
+func (p *Process) MMapAt(r addr.Range) error {
+	r.Size = addr.AlignUp(r.Size, addr.PageSize4K)
+	for _, old := range p.regions {
+		if old.Overlaps(r) {
+			return fmt.Errorf("guestos: region %v overlaps existing %v", r, old)
+		}
+	}
+	p.regions = append(p.regions, r)
+	if end := r.End() + addr.PageSize2M; end > p.nextVA {
+		p.nextVA = end
+	}
+	return nil
+}
+
+// Unmap removes the translation for every mapped page of the range and
+// frees the backing frames. The caller is responsible for TLB
+// invalidation on the MMU. The virtual region itself stays registered
+// (malloc arenas recycle address space).
+func (p *Process) Unmap(r addr.Range) error {
+	for va := addr.PageBase(r.Start, addr.Page4K); va < r.End(); va += addr.PageSize4K {
+		gpa, s, ok := p.PT.Translate(va)
+		if !ok {
+			continue
+		}
+		if s != addr.Page4K {
+			return fmt.Errorf("guestos: unmap of %v-mapped page %#x unsupported", s, va)
+		}
+		if err := p.PT.Unmap(va, addr.Page4K); err != nil {
+			return err
+		}
+		if err := p.kernel.Mem.FreeFrame(physmem.AddrToFrame(gpa)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MapRegion eagerly maps the whole region with pages of size s, backing
+// it with size-aligned contiguous guest physical chunks. This is how
+// big-memory applications "explicitly request 4KB, 2MB, or 1GB pages"
+// (§VIII) and how THP-promoted regions end up laid out.
+func (p *Process) MapRegion(r addr.Range, s addr.PageSize) error {
+	if !addr.IsAligned(r.Start, s) {
+		return fmt.Errorf("guestos: region base %#x not %v aligned", r.Start, s)
+	}
+	chunkFrames := s.Bytes() >> addr.PageShift4K
+	for va := r.Start; va < r.End(); va += s.Bytes() {
+		if _, _, ok := p.PT.Translate(va); ok {
+			continue
+		}
+		first, err := p.kernel.Mem.AllocContiguous(chunkFrames, chunkFrames)
+		if err != nil {
+			return fmt.Errorf("guestos: backing %v page at %#x: %w", s, va, err)
+		}
+		if err := p.PT.Map(va, physmem.FrameToAddr(first), s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Regions returns the process's mapped virtual ranges.
+func (p *Process) Regions() []addr.Range { return p.regions }
+
+// PrimaryRegion returns the process's primary region (zero if none).
+func (p *Process) PrimaryRegion() addr.Range { return p.primary }
+
+// CreatePrimaryRegion reserves a contiguous virtual region of size
+// bytes and attempts to back it with a contiguous guest physical range
+// so a guest direct segment can map it. On fragmentation it returns
+// ErrFragmented with the virtual region still created (paging works);
+// the caller may self-balloon and retry BackPrimaryRegion.
+func (p *Process) CreatePrimaryRegion(size uint64) (addr.Range, error) {
+	size = addr.AlignUp(size, addr.PageSize4K)
+	base := addr.AlignUp(p.nextVA, addr.PageSize1G)
+	p.nextVA = base + size + addr.PageSize2M
+	p.primary = addr.Range{Start: base, Size: size}
+	p.regions = append(p.regions, p.primary)
+	return p.primary, p.BackPrimaryRegion()
+}
+
+// CreatePrimaryRegionAt registers a primary region at a fixed virtual
+// base (the experiment runner pins workload layouts) and attempts to
+// back it, with the same ErrFragmented contract as CreatePrimaryRegion.
+func (p *Process) CreatePrimaryRegionAt(r addr.Range) error {
+	if err := p.MMapAt(r); err != nil {
+		return err
+	}
+	p.primary = r
+	return p.BackPrimaryRegion()
+}
+
+// BackPrimaryRegion (re)tries to allocate contiguous guest physical
+// memory behind the primary region and program segment registers.
+func (p *Process) BackPrimaryRegion() error {
+	if p.primary.Empty() {
+		return ErrNoPrimary
+	}
+	frames := p.primary.Size >> addr.PageShift4K
+	first, err := p.kernel.Mem.AllocContiguous(frames, 1)
+	if err != nil {
+		return ErrFragmented
+	}
+	gpaBase := physmem.FrameToAddr(first)
+	p.Seg = segment.NewRegisters(p.primary.Start, gpaBase, p.primary.Size)
+	return nil
+}
+
+// HandleFault services a page fault at gva for the process, exactly as
+// the modified Linux handler of §VI.B: faults inside a segment-mapped
+// primary region get dynamically computed PTEs (emulation mode) or are
+// a hard error (hardware mode — segment hardware should have translated
+// them); other faults demand-allocate a frame.
+func (p *Process) HandleFault(gva uint64) error {
+	page := addr.PageBase(gva, addr.Page4K)
+	if p.Seg.Enabled() && p.Seg.Contains(gva) {
+		if !p.EmulateSegment {
+			return fmt.Errorf("guestos: fault at %#x inside live guest segment %v", gva, p.Seg)
+		}
+		// §VI.B: compute the physical address from the segment offset
+		// and install the PTE.
+		gpa := addr.PageBase(p.Seg.Translate(gva), addr.Page4K)
+		if err := p.kernel.Mem.AllocFrameAt(physmem.AddrToFrame(gpa)); err != nil &&
+			!errors.Is(err, physmem.ErrDoubleAlloc) {
+			return fmt.Errorf("guestos: emulated segment fault: %w", err)
+		}
+		return p.PT.Map(page, gpa, addr.Page4K)
+	}
+	if !p.inRegion(gva) {
+		return ErrOutsideVA
+	}
+	if _, onSwap := p.swapped[page]; onSwap {
+		return p.swapIn(gva)
+	}
+	f, err := p.kernel.Mem.AllocFrame()
+	if err != nil {
+		return fmt.Errorf("guestos: demand paging: %w", err)
+	}
+	return p.PT.Map(page, physmem.FrameToAddr(f), addr.Page4K)
+}
+
+func (p *Process) inRegion(gva uint64) bool {
+	for _, r := range p.regions {
+		if r.Contains(gva) {
+			return true
+		}
+	}
+	return false
+}
+
+// Prefault populates every page of the virtual range eagerly, as
+// big-memory applications do with explicit huge-page requests or
+// pre-touch loops. It drives HandleFault so both policies share code.
+func (p *Process) Prefault(r addr.Range) error {
+	for va := r.Start; va < r.End(); va += addr.PageSize4K {
+		if _, _, ok := p.PT.Translate(va); ok {
+			continue
+		}
+		if p.Seg.Enabled() && p.Seg.Contains(va) && !p.EmulateSegment {
+			continue // segment hardware translates; nothing to install
+		}
+		if err := p.HandleFault(va); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SelfBalloon implements the paper's self-ballooning (Figure 9): pin
+// scattered free frames with the balloon driver, hand them to the VMM,
+// and receive the same amount of fresh contiguous guest physical
+// memory via hotplug. Returns the new contiguous range, onlined and
+// ready to back a guest segment.
+func (k *Kernel) SelfBalloon(size uint64, pick func(n uint64) uint64) (addr.Range, error) {
+	if k.backend == nil {
+		return addr.Range{}, ErrBackendMissing
+	}
+	size = addr.AlignUp(size, addr.PageSize4K)
+	need := size >> addr.PageShift4K
+	if k.Mem.FreeFrames() < need {
+		return addr.Range{}, fmt.Errorf("guestos: self-balloon needs %d free frames, have %d",
+			need, k.Mem.FreeFrames())
+	}
+	// Step 1: the balloon driver asks the kernel for reclaimable pages
+	// and pins them. The kernel hands back whatever scattered frames it
+	// has — that is the point: they need not be contiguous.
+	frames := make([]uint64, 0, need)
+	for uint64(len(frames)) < need {
+		f, err := k.Mem.AllocFrame()
+		if err != nil {
+			return addr.Range{}, fmt.Errorf("guestos: balloon pinning: %w", err)
+		}
+		frames = append(frames, f)
+	}
+	_ = pick // reserved for randomized pinning policies
+	// Step 2: pass the pinned pages to the VMM...
+	if err := k.backend.Balloon(frames); err != nil {
+		return addr.Range{}, fmt.Errorf("guestos: balloon to VMM: %w", err)
+	}
+	k.ballooned = append(k.ballooned, frames...)
+	// ...which adds the same amount back as contiguous guest physical
+	// memory via hotplug.
+	r, err := k.backend.HotplugAdd(size)
+	if err != nil {
+		return addr.Range{}, fmt.Errorf("guestos: hotplug add: %w", err)
+	}
+	if err := k.Mem.Online(r); err != nil {
+		return addr.Range{}, fmt.Errorf("guestos: onlining hotplugged range: %w", err)
+	}
+	return r, nil
+}
+
+// BalloonedFrames returns frames currently pinned by the balloon.
+func (k *Kernel) BalloonedFrames() []uint64 { return k.ballooned }
+
+// ReclaimIOGap implements §IV "Reclaiming I/O gap memory" using
+// hot-unplug: remove all guest physical memory between keepBytes and
+// the I/O gap, then extend memory above by the same amount. Linux
+// needs only ~256MB low memory to boot (§VI.C), so keepBytes is
+// typically 256<<20. Returns the new high range.
+func (k *Kernel) ReclaimIOGap(keepBytes uint64) (addr.Range, error) {
+	if k.backend == nil {
+		return addr.Range{}, ErrBackendMissing
+	}
+	keepBytes = addr.AlignUp(keepBytes, addr.PageSize4K)
+	if keepBytes >= addr.IOGapStart {
+		return addr.Range{}, fmt.Errorf("guestos: keepBytes %#x leaves nothing to reclaim", keepBytes)
+	}
+	low := addr.Range{Start: keepBytes, Size: addr.IOGapStart - keepBytes}
+	// Hot-unplug uses specific addresses (unlike ballooning, which takes
+	// whatever the kernel picks) — that is why the paper uses it here.
+	if err := k.Mem.Offline(low); err != nil {
+		return addr.Range{}, fmt.Errorf("guestos: unplugging low memory: %w", err)
+	}
+	if err := k.backend.HotplugRemove(low); err != nil {
+		return addr.Range{}, err
+	}
+	r, err := k.backend.HotplugAdd(low.Size)
+	if err != nil {
+		return addr.Range{}, err
+	}
+	if err := k.Mem.Online(r); err != nil {
+		return addr.Range{}, err
+	}
+	k.kernelReserve = addr.Range{Start: 0, Size: keepBytes}
+	return r, nil
+}
+
+// KernelReserve returns the low-memory range kept for the kernel after
+// I/O-gap reclamation (zero before).
+func (k *Kernel) KernelReserve() addr.Range { return k.kernelReserve }
+
+// MarkBadPages places frames on the bad-page list and, when the process
+// has a live segment covering them, registers them with the provided
+// escape-filter insert function and remaps them through paging. It
+// returns the remapped (gva → new gPA) pairs.
+type BadPageRemap struct {
+	GVA    uint64
+	OldGPA uint64
+	NewGPA uint64
+}
+
+// EscapeBadPages handles hard faults inside p's guest segment: each bad
+// guest frame is marked, inserted into the escape filter via insert,
+// and remapped through conventional paging to a healthy frame (§V).
+func (p *Process) EscapeBadPages(badGPAs []uint64, insert func(pfn uint64)) ([]BadPageRemap, error) {
+	if !p.Seg.Enabled() {
+		return nil, ErrNoPrimary
+	}
+	var out []BadPageRemap
+	for _, gpa := range badGPAs {
+		gpa = addr.PageBase(gpa, addr.Page4K)
+		if err := p.kernel.Mem.MarkBad(physmem.AddrToFrame(gpa)); err != nil {
+			return out, err
+		}
+		if !p.Seg.TargetRange().Contains(gpa) {
+			continue // outside the segment: ordinary bad-page handling
+		}
+		gva := gpa - p.Seg.Offset
+		insert(gpa >> addr.PageShift4K)
+		f, err := p.kernel.Mem.AllocFrame()
+		if err != nil {
+			return out, fmt.Errorf("guestos: replacement frame: %w", err)
+		}
+		newGPA := physmem.FrameToAddr(f)
+		if err := p.PT.Map(addr.PageBase(gva, addr.Page4K), newGPA, addr.Page4K); err != nil {
+			return out, fmt.Errorf("guestos: remapping escaped page: %w", err)
+		}
+		out = append(out, BadPageRemap{GVA: gva, OldGPA: gpa, NewGPA: newGPA})
+	}
+	return out, nil
+}
+
+// GuardPages implements the §V extension: the escape filter can carry
+// "a limited number of pages with different protection, such as guard
+// pages". Each gva page inside the segment is inserted into the filter
+// via insert but deliberately NOT remapped, so hardware falls back to
+// paging, finds no PTE, and faults — the guard trips. insert receives
+// both the virtual and the translated page frame number because the
+// guest-side filter (Direct Segment mode) is keyed by VA while the
+// VMM-side filter (Dual/VMM Direct) is keyed by gPA.
+func (p *Process) GuardPages(gvas []uint64, insert func(vaPFN, paPFN uint64)) error {
+	if !p.Seg.Enabled() {
+		return ErrNoPrimary
+	}
+	for _, gva := range gvas {
+		if !p.Seg.Contains(gva) {
+			return fmt.Errorf("guestos: guard page %#x outside the segment", gva)
+		}
+		pa := addr.PageBase(p.Seg.Translate(gva), addr.Page4K)
+		insert(addr.PageBase(gva, addr.Page4K)>>addr.PageShift4K, pa>>addr.PageShift4K)
+		p.guards = append(p.guards, addr.PageBase(gva, addr.Page4K))
+	}
+	return nil
+}
+
+// GuardPageHit reports whether a faulting address is a guard page the
+// process armed, so the kernel can deliver the protection violation
+// rather than demand-paging it.
+func (p *Process) GuardPageHit(gva uint64) bool {
+	page := addr.PageBase(gva, addr.Page4K)
+	for _, g := range p.guards {
+		if g == page {
+			return true
+		}
+	}
+	return false
+}
+
+// MapFalsePositive installs a paging mapping for a segment-covered page
+// that the escape filter falsely reports (§V: "the VMM must create
+// mappings for these pages as well"). Identity within the segment: the
+// PTE targets exactly the address the segment would have produced.
+func (p *Process) MapFalsePositive(gva uint64) error {
+	if !p.Seg.Enabled() || !p.Seg.Contains(gva) {
+		return ErrNoPrimary
+	}
+	page := addr.PageBase(gva, addr.Page4K)
+	gpa := addr.PageBase(p.Seg.Translate(gva), addr.Page4K)
+	err := p.PT.Map(page, gpa, addr.Page4K)
+	if errors.Is(err, pagetable.ErrOverlap) {
+		return nil // already mapped
+	}
+	return err
+}

@@ -1,0 +1,77 @@
+// Guest swapping (Table II): the guest OS can reclaim memory by paging
+// application pages out to a swap device. Pages mapped by a live guest
+// direct segment are pinned — they have no PTE to invalidate and their
+// frames back the segment arithmetic — so segment-covered memory cannot
+// swap while the segment is enabled ("limited" in Table II for Dual and
+// Guest Direct); everything mapped through the page table swaps freely.
+
+package guestos
+
+import (
+	"errors"
+	"fmt"
+
+	"vdirect/internal/addr"
+	"vdirect/internal/physmem"
+)
+
+// ErrPinnedBySegment is returned when swapping targets segment-covered
+// pages.
+var ErrPinnedBySegment = errors.New("guestos: page pinned by a live direct segment")
+
+// swapSlot marks a virtual page as resident on the swap device.
+type swapSlot struct{}
+
+// SwapOut pages out every mapped 4K page of the range: the PTE is
+// removed, the frame freed, and the page recorded on the swap device.
+// The caller must invalidate the TLB for the range. Returns the number
+// of pages swapped.
+func (p *Process) SwapOut(r addr.Range) (int, error) {
+	if p.Seg.Enabled() && p.Seg.Range().Overlaps(r) {
+		return 0, fmt.Errorf("%w: %v overlaps segment %v", ErrPinnedBySegment, r, p.Seg.Range())
+	}
+	if p.swapped == nil {
+		p.swapped = make(map[uint64]swapSlot)
+	}
+	n := 0
+	for va := addr.PageBase(r.Start, addr.Page4K); va < r.End(); va += addr.PageSize4K {
+		gpa, s, ok := p.PT.Translate(va)
+		if !ok {
+			continue
+		}
+		if s != addr.Page4K {
+			return n, fmt.Errorf("guestos: swap of %v-mapped page %#x unsupported", s, va)
+		}
+		if err := p.PT.Unmap(va, addr.Page4K); err != nil {
+			return n, err
+		}
+		if err := p.kernel.Mem.FreeFrame(physmem.AddrToFrame(gpa)); err != nil {
+			return n, err
+		}
+		p.swapped[va] = swapSlot{}
+		n++
+	}
+	return n, nil
+}
+
+// SwappedPages returns how many pages currently live on swap.
+func (p *Process) SwappedPages() int { return len(p.swapped) }
+
+// SwapIns returns how many faults were serviced from swap.
+func (p *Process) SwapIns() uint64 { return p.swapIns }
+
+// swapIn services a fault on a swapped-out page: allocate a frame,
+// (notionally) read the contents back, and map it.
+func (p *Process) swapIn(va uint64) error {
+	page := addr.PageBase(va, addr.Page4K)
+	f, err := p.kernel.Mem.AllocFrame()
+	if err != nil {
+		return fmt.Errorf("guestos: swap-in: %w", err)
+	}
+	if err := p.PT.Map(page, physmem.FrameToAddr(f), addr.Page4K); err != nil {
+		return err
+	}
+	delete(p.swapped, page)
+	p.swapIns++
+	return nil
+}

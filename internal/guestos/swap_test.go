@@ -1,0 +1,68 @@
+package guestos
+
+import (
+	"errors"
+	"testing"
+
+	"vdirect/internal/addr"
+)
+
+func TestGuestSwapRoundTrip(t *testing.T) {
+	k, _ := newKernel(t, 64, false)
+	p, _ := k.CreateProcess("app")
+	base, _ := p.MMap(256 << 10)
+	r := addr.Range{Start: base, Size: 256 << 10}
+	if err := p.Prefault(r); err != nil {
+		t.Fatal(err)
+	}
+	freeBefore := k.Mem.FreeFrames()
+	n, err := p.SwapOut(r)
+	if err != nil || n != 64 {
+		t.Fatalf("swap out: n=%d err=%v", n, err)
+	}
+	// 64 data frames come back, plus any page-table pages the unmaps
+	// emptied.
+	if k.Mem.FreeFrames() < freeBefore+64 {
+		t.Error("frames not reclaimed")
+	}
+	if p.SwappedPages() != 64 {
+		t.Errorf("swapped = %d", p.SwappedPages())
+	}
+	// Faulting a swapped page swaps it back in.
+	if err := p.HandleFault(base + 0x3123); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := p.PT.Translate(base + 0x3123); !ok {
+		t.Fatal("swap-in did not map")
+	}
+	if p.SwapIns() != 1 || p.SwappedPages() != 63 {
+		t.Errorf("counters: ins=%d swapped=%d", p.SwapIns(), p.SwappedPages())
+	}
+	// Swapping an unmapped range is a no-op.
+	if n, err := p.SwapOut(addr.Range{Start: base + 0x3000, Size: 0x1000}); err != nil || n != 1 {
+		// page 3 was just swapped in, so it swaps out again
+		t.Errorf("re-swap: n=%d err=%v", n, err)
+	}
+}
+
+func TestGuestSwapPinnedBySegment(t *testing.T) {
+	// Table II: guest swapping is limited in Dual/Guest Direct — the
+	// segment-covered primary region is pinned.
+	k, _ := newKernel(t, 64, false)
+	p, _ := k.CreateProcess("bigmem")
+	r, err := p.CreatePrimaryRegion(8 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.SwapOut(addr.Range{Start: r.Start, Size: 1 << 20}); !errors.Is(err, ErrPinnedBySegment) {
+		t.Fatalf("err = %v, want ErrPinnedBySegment", err)
+	}
+	// Non-segment memory still swaps (VMM Direct's "unrestricted" row).
+	base, _ := p.MMap(64 << 10)
+	if err := p.Prefault(addr.Range{Start: base, Size: 64 << 10}); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := p.SwapOut(addr.Range{Start: base, Size: 64 << 10}); err != nil || n != 16 {
+		t.Fatalf("non-segment swap: n=%d err=%v", n, err)
+	}
+}

@@ -1,0 +1,106 @@
+package mmu
+
+import (
+	"testing"
+
+	"vdirect/internal/addr"
+	"vdirect/internal/pagetable"
+	"vdirect/internal/segment"
+)
+
+// TestASIDIsolation verifies tagged entries never leak across address
+// spaces: two processes mapping the same gVA to different frames must
+// each see their own translation, with no intervening flushes.
+func TestASIDIsolation(t *testing.T) {
+	e := newEnv(t, 16, coldConfig())
+	e.mapGuest(t, 0x400000, 0x800000, 1)
+	gpt2, err := pagetable.New(e.guestMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gpt2.Map(0x400000, 0xc00000, addr.Page4K); err != nil {
+		t.Fatal(err)
+	}
+
+	e.m.ContextSwitchASID(e.gPT, segment.Disabled(), 1)
+	r1, fault := e.m.Translate(0x400123)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	e.m.ContextSwitchASID(gpt2, segment.Disabled(), 2)
+	r2, fault := e.m.Translate(0x400123)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	if r2.L1Hit {
+		t.Fatal("process 2 hit on process 1's entry")
+	}
+	if r1.HPA == r2.HPA {
+		t.Fatal("ASID confusion: both processes translated identically")
+	}
+	// Switching back, process 1's entry is still warm — the PCID win.
+	e.m.ContextSwitchASID(e.gPT, segment.Disabled(), 1)
+	r3, fault := e.m.Translate(0x400123)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	if !r3.L1Hit {
+		t.Error("process 1's entries were lost despite ASID tagging")
+	}
+	if r3.HPA != r1.HPA {
+		t.Errorf("translation changed: %#x vs %#x", r3.HPA, r1.HPA)
+	}
+}
+
+// TestASIDVsFlushCost quantifies the benefit: with untagged switches
+// every timeslice re-walks; with ASIDs only the first does.
+func TestASIDVsFlushCost(t *testing.T) {
+	run := func(tagged bool) uint64 {
+		e := newEnv(t, 16, coldConfig())
+		e.mapGuest(t, 0x400000, 0x800000, 8)
+		gpt2, err := pagetable.New(e.guestMem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := uint64(0); p < 8; p++ {
+			if err := gpt2.Map(0x600000+p<<12, 0xa00000+p<<12, addr.Page4K); err != nil {
+				t.Fatal(err)
+			}
+		}
+		touch := func(base uint64) {
+			for p := uint64(0); p < 8; p++ {
+				if _, fault := e.m.Translate(base + p<<12); fault != nil {
+					t.Fatal(fault)
+				}
+			}
+		}
+		for slice := 0; slice < 10; slice++ {
+			if tagged {
+				e.m.ContextSwitchASID(e.gPT, segment.Disabled(), 1)
+			} else {
+				e.m.ContextSwitch(e.gPT, segment.Disabled())
+			}
+			touch(0x400000)
+			if tagged {
+				e.m.ContextSwitchASID(gpt2, segment.Disabled(), 2)
+			} else {
+				e.m.ContextSwitch(gpt2, segment.Disabled())
+			}
+			touch(0x600000)
+		}
+		return e.m.Stats().Walks
+	}
+	flushWalks := run(false)
+	taggedWalks := run(true)
+	if taggedWalks >= flushWalks {
+		t.Errorf("tagged walks %d >= flush walks %d", taggedWalks, flushWalks)
+	}
+	// With 16 pages total and no capacity pressure, tagged switching
+	// should walk each page roughly once.
+	if taggedWalks > 20 {
+		t.Errorf("tagged walks = %d, want ~16", taggedWalks)
+	}
+	if flushWalks < 150 {
+		t.Errorf("flush walks = %d, want ~160 (8 pages × 20 timeslices)", flushWalks)
+	}
+}

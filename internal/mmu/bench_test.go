@@ -1,0 +1,63 @@
+package mmu
+
+import (
+	"testing"
+
+	"vdirect/internal/addr"
+	"vdirect/internal/ptecache"
+	"vdirect/internal/segment"
+)
+
+func benchTranslate(b *testing.B, setup func(e *env) error) {
+	b.Helper()
+	e, err := buildEnv(64, Config{PTECache: ptecache.Default})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := setup(e); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var va uint64
+	for i := 0; i < b.N; i++ {
+		va = (va + 4096*17) % (16 << 20)
+		if _, fault := e.m.Translate(0x400000 + va); fault != nil {
+			b.Fatal(fault)
+		}
+	}
+}
+
+// BenchmarkTranslate2D is the host cost of simulating a base
+// virtualized translation.
+func BenchmarkTranslate2D(b *testing.B) {
+	benchTranslate(b, func(e *env) error {
+		for p := uint64(0); p < (16<<20)/4096; p++ {
+			if err := e.gPT.Map(0x400000+p<<12, 0x800000+p<<12, addr.Page4K); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// BenchmarkTranslateDualDirect is the host cost of the 0D fast path.
+func BenchmarkTranslateDualDirect(b *testing.B) {
+	benchTranslate(b, func(e *env) error {
+		e.m.SetGuestSegment(segment.NewRegisters(0x400000, 0x800000, 16<<20))
+		e.m.SetVMMSegment(segment.NewRegisters(0, e.hostBase, e.guestSize))
+		return nil
+	})
+}
+
+// BenchmarkTranslateNative is the host cost of a 1D translation.
+func BenchmarkTranslateNative(b *testing.B) {
+	benchTranslate(b, func(e *env) error {
+		e.m.SetNestedPageTable(nil)
+		for p := uint64(0); p < (16<<20)/4096; p++ {
+			if err := e.gPT.Map(0x400000+p<<12, 0x800000+p<<12, addr.Page4K); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,642 @@
+// Package mmu implements the paper's proposed address-translation
+// hardware: the Figure 5(a) flow chart and Figure 5(b) page-walk state
+// machines, with cycle and memory-reference accounting.
+//
+// The hardware is mode-less in the same sense as the proposal: behaviour
+// is determined entirely by which segment register sets are enabled
+// (BASE < LIMIT) and whether nested translation is active. The six
+// paper modes are register configurations:
+//
+//	Native                 !virtualized, no segments
+//	Direct Segment         !virtualized, guest segment (VA→PA)
+//	Base Virtualized        virtualized, no segments      (2D walk, ≤24 refs)
+//	Dual Direct             virtualized, both segments    (0D walk, 0 refs)
+//	VMM Direct              virtualized, VMM segment      (1D walk, ≤4 refs)
+//	Guest Direct            virtualized, guest segment    (1D walk, ≤4 refs)
+//
+// Escape filters (§V) hang off each segment set; a covered page that
+// hits the filter falls back to the paging path for that dimension.
+package mmu
+
+import (
+	"fmt"
+
+	"vdirect/internal/addr"
+	"vdirect/internal/escape"
+	"vdirect/internal/pagetable"
+	"vdirect/internal/ptecache"
+	"vdirect/internal/segment"
+	"vdirect/internal/tlb"
+)
+
+// Mode names the register configurations, for reporting.
+type Mode uint8
+
+// The six operating modes of Figure 3.
+const (
+	ModeNative Mode = iota
+	ModeDirectSegment
+	ModeBaseVirtualized
+	ModeDualDirect
+	ModeVMMDirect
+	ModeGuestDirect
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNative:
+		return "Native"
+	case ModeDirectSegment:
+		return "DirectSegment"
+	case ModeBaseVirtualized:
+		return "BaseVirtualized"
+	case ModeDualDirect:
+		return "DualDirect"
+	case ModeVMMDirect:
+		return "VMMDirect"
+	case ModeGuestDirect:
+		return "GuestDirect"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// Virtualized reports whether the mode uses two-level translation.
+func (m Mode) Virtualized() bool { return m >= ModeBaseVirtualized }
+
+// Config sets the simulated hardware's geometry and latencies.
+type Config struct {
+	// L1 geometry; zero value selects SandyBridgeL1.
+	L1 tlb.Geometry
+	// L2Entries/L2Ways for the shared second-level TLB (default 512/4).
+	L2Entries, L2Ways int
+	// PTECache models the data-cache path of walk references.
+	PTECache ptecache.Config
+	// SegmentCheckCycles is Δ, the cost of one base-bound check
+	// (paper's estimate: 1 cycle per check).
+	SegmentCheckCycles uint64
+	// L2HitCycles is charged for L2 TLB probes on the L1-miss path.
+	// Default 0: the paper's metric is page-walk duration (perf's
+	// WALK_DURATION counters), which starts after the L2 TLB misses;
+	// probe latency is identical across configurations and cancels out
+	// of the overhead comparison. Set non-zero to model it anyway.
+	L2HitCycles uint64
+	// NestedProbeCycles is charged per nested-TLB probe performed
+	// inside a 2D walk — that latency is part of walk duration.
+	// Default 7.
+	NestedProbeCycles uint64
+	// DisablePWC turns off the paging-structure caches (ablation).
+	DisablePWC bool
+	// DisableNestedTLB stops nested translations from being cached in
+	// the shared L2 (ablation: isolates the capacity-erosion effect).
+	DisableNestedTLB bool
+	// EscapeFilterBits sizes the escape filters (default 256, the
+	// paper's; must be 4 × a power of two).
+	EscapeFilterBits int
+}
+
+func (c Config) withDefaults() Config {
+	zero := tlb.Geometry{}
+	if c.L1 == zero {
+		c.L1 = tlb.SandyBridgeL1
+	}
+	if c.L2Entries == 0 {
+		c.L2Entries, c.L2Ways = 512, 4
+	}
+	if c.PTECache.Lines == 0 {
+		c.PTECache = ptecache.Default
+	}
+	if c.SegmentCheckCycles == 0 {
+		c.SegmentCheckCycles = 1
+	}
+	if c.NestedProbeCycles == 0 {
+		c.NestedProbeCycles = 7
+	}
+	if c.EscapeFilterBits == 0 {
+		c.EscapeFilterBits = escape.FilterBits
+	}
+	return c
+}
+
+// FaultKind says which translation dimension faulted.
+type FaultKind uint8
+
+// Fault dimensions.
+const (
+	FaultGuest  FaultKind = iota // gVA not mapped by guest page table
+	FaultNested                  // gPA not mapped by nested page table
+)
+
+// Fault is returned when translation cannot complete; the OS/VMM layer
+// services it (demand paging) and the access is retried.
+type Fault struct {
+	Kind FaultKind
+	// Addr is the faulting gVA (FaultGuest) or gPA (FaultNested).
+	Addr uint64
+}
+
+func (f *Fault) Error() string {
+	which := "guest"
+	if f.Kind == FaultNested {
+		which = "nested"
+	}
+	return fmt.Sprintf("mmu: %s page fault at %#x", which, f.Addr)
+}
+
+// Stats are the event counts the evaluation reads — the simulator's
+// replacement for perf counters plus BadgerTrap (§VII).
+type Stats struct {
+	Accesses uint64
+	L1Hits   uint64
+	L1Misses uint64
+	L2Hits   uint64
+	L2Misses uint64
+
+	// ZeroDWalks counts L1 misses resolved purely by the two segment
+	// register sets (Dual Direct's 0D path).
+	ZeroDWalks uint64
+	// Walks counts invocations of the page-walk state machine.
+	Walks uint64
+	// WalkMemRefs counts page-table memory references performed.
+	WalkMemRefs uint64
+	// WalkCycles is the total cycles charged to TLB-miss handling
+	// (segment checks + walk references + L2/NTLB probe costs).
+	WalkCycles uint64
+
+	SegmentChecks   uint64
+	GuestSegHits    uint64 // gVA→gPA resolved by guest segment
+	VMMSegHits      uint64 // gPA→hPA resolved by VMM segment
+	NestedTLBHits   uint64
+	NestedTLBMisses uint64
+	NestedWalks     uint64
+	EscapeProbes    uint64
+	EscapeTaken     uint64 // filter said "escape" (member or false positive)
+	GuestFaults     uint64
+	NestedFaults    uint64
+
+	// Table I / Table IV classification of L1 misses by segment
+	// coverage of the address (measured on every L1 miss, like the
+	// paper's BadgerTrap classification of DTLB misses).
+	MissBoth      uint64 // in guest and VMM segments (F_DD)
+	MissVMMOnly   uint64 // F_VD
+	MissGuestOnly uint64 // F_GD
+	MissNeither   uint64
+}
+
+// MMU is one simulated translation pipeline (one hardware context).
+type MMU struct {
+	cfg  Config
+	l1   *tlb.L1
+	l2   *tlb.L2
+	pwc  *tlb.PWC // guest-dimension paging-structure caches
+	npwc *tlb.PWC // nested-dimension paging-structure caches
+	ptc  *ptecache.Cache
+
+	virtualized bool
+	segs        segment.Pair
+	// escV escapes pages from the VMM segment (Dual/VMM Direct); escG
+	// escapes pages from the guest segment (Direct Segment mode).
+	escV *escape.Filter
+	escG *escape.Filter
+
+	// gPT translates the first dimension: gVA→gPA (or VA→PA native).
+	gPT *pagetable.Table
+	// nPT translates the second dimension: gPA→hPA. nil when native.
+	nPT *pagetable.Table
+
+	stats Stats
+
+	refBuf []pagetable.Ref // reusable walk buffer
+}
+
+// New builds an MMU with the given hardware configuration.
+func New(cfg Config) *MMU {
+	cfg = cfg.withDefaults()
+	return &MMU{
+		cfg:  cfg,
+		l1:   tlb.NewL1(cfg.L1),
+		l2:   tlb.NewL2(cfg.L2Entries, cfg.L2Ways),
+		pwc:  tlb.NewPWC(),
+		npwc: tlb.NewPWC(),
+		ptc:  ptecache.New(cfg.PTECache),
+		escV: escape.NewSized(cfg.EscapeFilterBits, escape.NumHashes, 1),
+		escG: escape.NewSized(cfg.EscapeFilterBits, escape.NumHashes, 2),
+	}
+}
+
+// SetGuestPageTable installs the active first-dimension page table.
+func (m *MMU) SetGuestPageTable(t *pagetable.Table) { m.gPT = t }
+
+// SetNestedPageTable installs the second-dimension table and enables
+// virtualized (two-level) translation. Passing nil returns to native.
+func (m *MMU) SetNestedPageTable(t *pagetable.Table) {
+	m.nPT = t
+	m.virtualized = t != nil
+}
+
+// SetGuestSegment programs BASE_G/LIMIT_G/OFFSET_G.
+func (m *MMU) SetGuestSegment(r segment.Registers) { m.segs.Guest = r }
+
+// SetVMMSegment programs BASE_V/LIMIT_V/OFFSET_V.
+func (m *MMU) SetVMMSegment(r segment.Registers) { m.segs.VMM = r }
+
+// GuestSegment returns the current guest segment registers.
+func (m *MMU) GuestSegment() segment.Registers { return m.segs.Guest }
+
+// VMMSegment returns the current VMM segment registers.
+func (m *MMU) VMMSegment() segment.Registers { return m.segs.VMM }
+
+// VMMEscapeFilter exposes the filter guarding the VMM segment.
+func (m *MMU) VMMEscapeFilter() *escape.Filter { return m.escV }
+
+// GuestEscapeFilter exposes the filter guarding the guest segment.
+func (m *MMU) GuestEscapeFilter() *escape.Filter { return m.escG }
+
+// Mode derives the paper mode from the current register configuration.
+func (m *MMU) Mode() Mode {
+	g, v := m.segs.Guest.Enabled(), m.segs.VMM.Enabled()
+	if !m.virtualized {
+		if g {
+			return ModeDirectSegment
+		}
+		return ModeNative
+	}
+	switch {
+	case g && v:
+		return ModeDualDirect
+	case v:
+		return ModeVMMDirect
+	case g:
+		return ModeGuestDirect
+	default:
+		return ModeBaseVirtualized
+	}
+}
+
+// Stats returns a copy of the accumulated counters.
+func (m *MMU) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the counters (after warmup).
+func (m *MMU) ResetStats() { m.stats = Stats{} }
+
+// FlushTLBs empties all translation caches, as a full CR3 write +
+// nested invalidation would.
+func (m *MMU) FlushTLBs() {
+	m.l1.Flush()
+	m.l2.Flush()
+	m.pwc.Flush()
+	m.npwc.Flush()
+}
+
+// ContextSwitch models a guest process switch: the guest page table and
+// guest segment registers change; guest-visible translations flush.
+func (m *MMU) ContextSwitch(gpt *pagetable.Table, guestSeg segment.Registers) {
+	m.gPT = gpt
+	m.segs.Guest = guestSeg
+	m.l1.Flush()
+	m.l2.Flush() // no PCID on the modeled machine
+	m.pwc.Flush()
+}
+
+// ContextSwitchASID models a PCID-tagged process switch: instead of
+// flushing, translation caches retag to the incoming process's
+// address-space identifier, so its entries from earlier timeslices
+// still hit. (The paper's 2014-era Linux flushed on every switch; this
+// is the tagged-TLB extension.) Nested entries are per-VM and survive
+// regardless.
+func (m *MMU) ContextSwitchASID(gpt *pagetable.Table, guestSeg segment.Registers, asid uint16) {
+	m.gPT = gpt
+	m.segs.Guest = guestSeg
+	m.l1.SetASID(asid)
+	m.l2.SetASID(asid)
+	m.pwc.SetASID(asid)
+}
+
+// InvalidatePage models INVLPG after the guest OS unmaps or remaps a
+// page: every composite entry covering the mapping is dropped. Because
+// composite entries may be cached at 4K grain even for larger guest
+// mappings, the whole mapped span is invalidated page by page.
+//
+// The paging-structure caches are left alone: in this simulator they
+// only discount walk cost (walks always consult the real tables), so a
+// stale PSC entry cannot produce a wrong translation, merely a slightly
+// optimistic cost for one walk.
+func (m *MMU) InvalidatePage(gva uint64, s addr.PageSize) {
+	base := addr.PageBase(gva, s)
+	for off := uint64(0); off < s.Bytes(); off += addr.PageSize4K {
+		m.l1.Invalidate(base + off)
+		m.l2.InvalidateGuest(base + off)
+	}
+}
+
+// InvalidateNested models a nested-page-table change (VMM remap): all
+// composite and nested translations derived from the nPT are stale.
+func (m *MMU) InvalidateNested() {
+	m.l1.Flush()
+	m.l2.Flush()
+	m.pwc.Flush()
+	m.npwc.Flush()
+	m.ptc.Flush()
+}
+
+// Result describes one completed translation.
+type Result struct {
+	HPA uint64
+	// Cycles charged to TLB-miss handling for this access (0 on L1 hit).
+	Cycles uint64
+	// L1Hit, L2Hit, ZeroD classify how the translation resolved.
+	L1Hit, L2Hit, ZeroD bool
+}
+
+// Translate runs one data access through the pipeline of Figure 5(a).
+func (m *MMU) Translate(gva uint64) (Result, *Fault) {
+	m.stats.Accesses++
+
+	// L1 TLB lookup (all sizes in parallel).
+	if hpa, _, hit := m.l1.Lookup(gva); hit {
+		m.stats.L1Hits++
+		return Result{HPA: hpa, L1Hit: true}, nil
+	}
+	m.stats.L1Misses++
+
+	var cycles uint64
+
+	// Dual Direct fast path: both segment register sets cover the
+	// address → hPA = gVA + OFFSET_G + OFFSET_V, a 0D walk. The two
+	// base-bound checks are performed together in one added cycle
+	// (Table II counts this as one check).
+	if m.virtualized && m.segs.Guest.Enabled() && m.segs.VMM.Enabled() &&
+		m.segs.Guest.Contains(gva) && !m.escapeGuest(gva) {
+		gpa := m.segs.Guest.Translate(gva)
+		if m.segs.VMM.Contains(gpa) && !m.escapeVMM(gpa) {
+			cycles += m.cfg.SegmentCheckCycles
+			m.stats.SegmentChecks++
+			m.stats.ZeroDWalks++
+			m.stats.GuestSegHits++
+			m.stats.VMMSegHits++
+			m.stats.MissBoth++
+			m.stats.WalkCycles += cycles
+			hpa := m.segs.VMM.Translate(gpa)
+			m.l1.Insert(gva, hpa, addr.Page4K)
+			return Result{HPA: hpa, Cycles: cycles, ZeroD: true}, nil
+		}
+	}
+
+	// L2 TLB lookup (guest 4K entries; the unvirtualized direct-segment
+	// check proceeds in parallel, §III.D).
+	if hpa, hit := m.l2.LookupGuest(gva); hit {
+		m.stats.L2Hits++
+		cycles += m.cfg.L2HitCycles
+		m.stats.WalkCycles += cycles
+		m.l1.Insert(gva, hpa, addr.Page4K)
+		return Result{HPA: hpa, Cycles: cycles, L2Hit: true}, nil
+	}
+	m.stats.L2Misses++
+	cycles += m.cfg.L2HitCycles // the probe that missed
+
+	// Unvirtualized Direct Segment mode: segment calculation in
+	// parallel with the L2 lookup; covered addresses skip the walk.
+	if !m.virtualized && m.segs.Guest.Enabled() && m.segs.Guest.Contains(gva) &&
+		!m.escapeGuest(gva) {
+		cycles += m.cfg.SegmentCheckCycles
+		m.stats.SegmentChecks++
+		m.stats.GuestSegHits++
+		m.stats.WalkCycles += cycles
+		pa := m.segs.Guest.Translate(gva)
+		m.l1.Insert(gva, pa, addr.Page4K)
+		m.l2.InsertGuest(gva, pa)
+		return Result{HPA: pa, Cycles: cycles, ZeroD: true}, nil
+	}
+
+	// Invoke the page-walk state machine.
+	res, fault := m.pageWalk(gva, cycles)
+	if fault != nil {
+		return Result{}, fault
+	}
+	return res, nil
+}
+
+// escapeVMM probes the VMM-segment escape filter for a gPA page.
+func (m *MMU) escapeVMM(gpa uint64) bool {
+	m.stats.EscapeProbes++
+	if m.escV.MayContain(gpa >> addr.PageShift4K) {
+		m.stats.EscapeTaken++
+		return true
+	}
+	return false
+}
+
+// escapeGuest probes the guest-segment escape filter for a VA page.
+func (m *MMU) escapeGuest(va uint64) bool {
+	m.stats.EscapeProbes++
+	if m.escG.MayContain(va >> addr.PageShift4K) {
+		m.stats.EscapeTaken++
+		return true
+	}
+	return false
+}
+
+// pageWalk dispatches to the 1D or 2D state machine of Figure 5(b),
+// charging cycles on top of the cost already accumulated.
+func (m *MMU) pageWalk(gva uint64, cycles uint64) (Result, *Fault) {
+	m.stats.Walks++
+	if !m.virtualized {
+		return m.nativeWalk(gva, cycles)
+	}
+	return m.nestedWalk2D(gva, cycles)
+}
+
+// nativeWalk is the 1D walk: up to 4 references through the PTE cache,
+// reduced by the paging-structure caches.
+func (m *MMU) nativeWalk(va uint64, cycles uint64) (Result, *Fault) {
+	pa, size, refs, ok := m.walkGuestTable(va, &cycles, nil)
+	if !ok {
+		m.stats.GuestFaults++
+		m.stats.WalkCycles += cycles
+		return Result{}, &Fault{Kind: FaultGuest, Addr: va}
+	}
+	_ = refs
+	m.stats.WalkCycles += cycles
+	m.insertComposite(va, pa, size, size)
+	return Result{HPA: pa, Cycles: cycles}, nil
+}
+
+// walkGuestTable walks the first-dimension table, applying the guest
+// PWC and, when virtualized, translating every table reference (a gPA)
+// through the nested dimension before reading it. It returns the leaf
+// translation, its page size, and the guest-dimension references made.
+// translateRef is non-nil in virtualized mode.
+func (m *MMU) walkGuestTable(va uint64, cycles *uint64, translateRef func(gpa uint64, cyc *uint64) (uint64, *Fault)) (pa uint64, size addr.PageSize, refs []pagetable.Ref, ok bool) {
+	m.refBuf = m.refBuf[:0]
+	pa, size, refs, ok = m.gPT.Walk(va, m.refBuf)
+	m.refBuf = refs
+
+	skip := 0
+	if !m.cfg.DisablePWC {
+		skip = m.pwc.SkipLevel(va)
+		if skip > len(refs)-1 {
+			skip = len(refs) - 1 // always perform the leaf reference
+		}
+	}
+	for _, ref := range refs[skip:] {
+		physAddr := ref.Addr
+		if translateRef != nil {
+			hpa, fault := translateRef(ref.Addr, cycles)
+			if fault != nil {
+				return 0, 0, refs, false
+			}
+			physAddr = hpa
+		}
+		m.stats.WalkMemRefs++
+		*cycles += m.ptc.Access(physAddr)
+	}
+	if ok && !m.cfg.DisablePWC {
+		// Interior levels traversed feed the paging-structure caches.
+		leafLvl := refs[len(refs)-1].Level
+		m.pwc.FillFrom(va, skip, leafLvl)
+	}
+	return pa, size, refs, ok
+}
+
+// nestedTranslate resolves one gPA to hPA: VMM segment (with escape
+// filter), then nested TLB, then a nested page-table walk.
+func (m *MMU) nestedTranslate(gpa uint64, cycles *uint64) (uint64, addr.PageSize, *Fault) {
+	// VMM segment check costs Δ whenever the registers are enabled —
+	// the hardware performs it unconditionally (Figure 5(b)).
+	if m.segs.VMM.Enabled() {
+		*cycles += m.cfg.SegmentCheckCycles
+		m.stats.SegmentChecks++
+		if m.segs.VMM.Contains(gpa) && !m.escapeVMM(gpa) {
+			m.stats.VMMSegHits++
+			return m.segs.VMM.Translate(gpa), addr.Page4K, nil
+		}
+	}
+	// Nested TLB (shared L2 structure).
+	if !m.cfg.DisableNestedTLB {
+		if hpa, hit := m.l2.LookupNested(gpa); hit {
+			m.stats.NestedTLBHits++
+			*cycles += m.cfg.NestedProbeCycles
+			return hpa, addr.Page4K, nil
+		}
+		m.stats.NestedTLBMisses++
+	}
+	// Nested page-table walk: up to 4 references, reduced by the
+	// nested paging-structure caches.
+	m.stats.NestedWalks++
+	var nrefs [addr.Levels]pagetable.Ref
+	hpa, nsize, refs, ok := m.nPT.Walk(gpa, nrefs[:0])
+	if !ok {
+		m.stats.NestedFaults++
+		return 0, 0, &Fault{Kind: FaultNested, Addr: gpa}
+	}
+	skip := 0
+	if !m.cfg.DisablePWC {
+		skip = m.npwc.SkipLevel(gpa)
+		if skip > len(refs)-1 {
+			skip = len(refs) - 1
+		}
+	}
+	for _, ref := range refs[skip:] {
+		m.stats.WalkMemRefs++
+		*cycles += m.ptc.Access(ref.Addr)
+	}
+	if !m.cfg.DisablePWC {
+		m.npwc.FillFrom(gpa, skip, refs[len(refs)-1].Level)
+	}
+	if !m.cfg.DisableNestedTLB {
+		m.l2.InsertNested(addr.PageBase(gpa, addr.Page4K), addr.PageBase(hpa, addr.Page4K))
+	}
+	return hpa, nsize, nil
+}
+
+// nestedWalk2D is the two-dimensional walk of Figure 2, flattened in
+// one or both dimensions when segments cover the relevant ranges.
+func (m *MMU) nestedWalk2D(gva uint64, cycles uint64) (Result, *Fault) {
+	// The guest escape filter is the §V extension ("escape filters at
+	// both levels so the guest OS can escape pages as well"): a covered
+	// gVA that hits it walks the guest page table instead.
+	guestCovered := m.segs.Guest.Enabled() && m.segs.Guest.Contains(gva) &&
+		!m.escapeGuest(gva)
+	if m.segs.Guest.Enabled() {
+		// The guest base-bound check happens once per walk (Δ_GD = 1).
+		cycles += m.cfg.SegmentCheckCycles
+		m.stats.SegmentChecks++
+	}
+
+	var gpa uint64
+	var gsize addr.PageSize
+	if guestCovered {
+		// First dimension flattened: gPA = gVA + OFFSET_G.
+		m.stats.GuestSegHits++
+		gpa = m.segs.Guest.Translate(gva)
+		gsize = addr.Page4K
+	} else {
+		// Walk the guest page table; each reference is a gPA needing
+		// nested translation first (the 5×4 of the 24-reference walk).
+		var fault *Fault
+		pa, size, _, ok := m.walkGuestTable(gva, &cycles, func(refGPA uint64, cyc *uint64) (uint64, *Fault) {
+			hpa, _, f := m.nestedTranslate(refGPA, cyc)
+			if f != nil {
+				fault = f
+			}
+			return hpa, f
+		})
+		if fault != nil {
+			m.stats.WalkCycles += cycles
+			return Result{}, fault
+		}
+		if !ok {
+			m.stats.GuestFaults++
+			m.stats.WalkCycles += cycles
+			return Result{}, &Fault{Kind: FaultGuest, Addr: gva}
+		}
+		gpa, gsize = pa, size
+	}
+
+	// Second dimension for the final gPA.
+	vmmCovered := m.segs.VMM.Enabled() && m.segs.VMM.Contains(gpa)
+	hpa, nsize, fault := m.nestedTranslate(gpa, &cycles)
+	if fault != nil {
+		m.stats.WalkCycles += cycles
+		return Result{}, fault
+	}
+
+	m.classifyMiss(guestCovered, vmmCovered)
+	m.stats.WalkCycles += cycles
+	m.insertComposite(gva, hpa, gsize, nsize)
+	return Result{HPA: hpa, Cycles: cycles}, nil
+}
+
+// classifyMiss updates the Table I / Table IV fraction counters.
+func (m *MMU) classifyMiss(guestCovered, vmmCovered bool) {
+	switch {
+	case guestCovered && vmmCovered:
+		m.stats.MissBoth++
+	case vmmCovered:
+		m.stats.MissVMMOnly++
+	case guestCovered:
+		m.stats.MissGuestOnly++
+	default:
+		m.stats.MissNeither++
+	}
+}
+
+// insertComposite installs the completed gVA→hPA translation in the
+// TLBs. The cacheable granularity is the smaller of the two dimensions'
+// page sizes; the L2 holds only 4K entries (Table VI).
+func (m *MMU) insertComposite(gva, hpa uint64, gsize, nsize addr.PageSize) {
+	size := gsize
+	if nsize < size {
+		size = nsize
+	}
+	base := addr.PageBase(gva, size)
+	hbase := addr.PageBase(hpa, size)
+	m.l1.Insert(base, hbase, size)
+	if size == addr.Page4K {
+		m.l2.InsertGuest(base, hbase)
+	}
+}
+
+// L2NestedStats exposes shared-L2 statistics for the §IX.A analysis.
+func (m *MMU) L2NestedStats() (lookups, hits, nestedInserts uint64) {
+	return m.l2.Stats()
+}

@@ -1,0 +1,124 @@
+package pagetable
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vdirect/internal/addr"
+	"vdirect/internal/physmem"
+	"vdirect/internal/trace"
+)
+
+// TestTableMatchesMapModel drives random Map/Unmap/Remap sequences at
+// mixed page sizes against a plain map reference model: after every
+// operation, translations, mapping counts, and frame accounting must
+// agree. This is the page table's end-to-end contract.
+func TestTableMatchesMapModel(t *testing.T) {
+	type mapping struct {
+		pa   uint64
+		size addr.PageSize
+	}
+	f := func(seed uint64) bool {
+		rng := trace.NewRand(seed)
+		mem := physmem.New(physmem.Config{Name: "model", Size: 256 << 20})
+		tbl, err := New(mem)
+		if err != nil {
+			return false
+		}
+		model := map[uint64]mapping{} // keyed by aligned va
+
+		sizes := []addr.PageSize{addr.Page4K, addr.Page4K, addr.Page2M} // 4K-biased
+		covered := func(va uint64) (uint64, mapping, bool) {
+			for base, m := range model {
+				if va >= base && va < base+m.size.Bytes() {
+					return base, m, true
+				}
+			}
+			return 0, mapping{}, false
+		}
+
+		for op := 0; op < 300; op++ {
+			s := sizes[rng.Intn(len(sizes))]
+			va := addr.AlignDown(rng.Uint64n(1<<32), s.Bytes())
+			switch rng.Uint64n(10) {
+			case 0, 1, 2, 3, 4: // Map
+				pa := addr.AlignDown(rng.Uint64n(1<<30), s.Bytes())
+				err := tbl.Map(va, pa, s)
+				_, _, overl := covered(va)
+				if !overl {
+					// Also check the new mapping wouldn't cover an
+					// existing smaller one.
+					for base := range model {
+						if base >= va && base < va+s.Bytes() {
+							overl = true
+							break
+						}
+					}
+				}
+				if overl {
+					if err == nil {
+						t.Logf("seed %d: overlapping map at %#x accepted", seed, va)
+						return false
+					}
+				} else if err != nil {
+					t.Logf("seed %d: clean map at %#x rejected: %v", seed, va, err)
+					return false
+				} else {
+					model[va] = mapping{pa: pa, size: s}
+				}
+			case 5, 6: // Unmap
+				m, exact := model[va]
+				err := tbl.Unmap(va, s)
+				if exact && m.size == s {
+					if err != nil {
+						t.Logf("seed %d: unmap of live %#x failed: %v", seed, va, err)
+						return false
+					}
+					delete(model, va)
+				} else if err == nil {
+					t.Logf("seed %d: bogus unmap at %#x succeeded", seed, va)
+					return false
+				}
+			case 7: // Remap
+				newPA := addr.AlignDown(rng.Uint64n(1<<30), s.Bytes())
+				base, m, ok := covered(va)
+				err := tbl.Remap(va, newPA)
+				if ok && addr.IsAligned(newPA, m.size) {
+					if err != nil {
+						t.Logf("seed %d: remap of live %#x failed: %v", seed, va, err)
+						return false
+					}
+					m.pa = newPA
+					model[base] = m
+				}
+				// Misaligned or unmapped remaps may fail; state unchanged
+				// either way for the model when err != nil.
+			default: // Translate probe
+				base, m, ok := covered(va)
+				pa, size, got := tbl.Translate(va)
+				if got != ok {
+					t.Logf("seed %d: presence mismatch at %#x", seed, va)
+					return false
+				}
+				if ok && (size != m.size || pa != m.pa+(va-base)) {
+					t.Logf("seed %d: translation mismatch at %#x", seed, va)
+					return false
+				}
+			}
+			if tbl.Mappings() != uint64(len(model)) {
+				t.Logf("seed %d: mapping count %d != model %d", seed, tbl.Mappings(), len(model))
+				return false
+			}
+		}
+		// Drain: unmapping everything returns the table to one root page.
+		for va, m := range model {
+			if err := tbl.Unmap(va, m.size); err != nil {
+				return false
+			}
+		}
+		return tbl.TablePages() == 1 && tbl.Mappings() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,469 @@
+// Package pagetable implements the x86-64 4-level radix page table
+// (PML4 → PDPT → PD → PT) used for both dimensions of translation:
+// per-process guest page tables (gVA→gPA) and per-VM nested page tables
+// (gPA→hPA).
+//
+// Table pages are allocated from the owning physical memory, so every
+// page-table node has a real physical address. That matters: in a 2D
+// walk, each reference the walker makes to a guest page table is itself
+// a guest physical address that must be translated through the nested
+// dimension — the "multiplication" of Figure 2.
+package pagetable
+
+import (
+	"errors"
+	"fmt"
+
+	"vdirect/internal/addr"
+)
+
+// Allocator supplies frames for page-table pages; *physmem.Memory
+// satisfies it.
+type Allocator interface {
+	AllocFrame() (uint64, error)
+	FreeFrame(f uint64) error
+}
+
+// Errors returned by mapping operations.
+var (
+	ErrMisaligned    = errors.New("pagetable: address not aligned to page size")
+	ErrOverlap       = errors.New("pagetable: mapping overlaps an existing mapping")
+	ErrNotMapped     = errors.New("pagetable: address not mapped")
+	ErrSizeClash     = errors.New("pagetable: unmap size differs from mapping size")
+	ErrNotPromotable = errors.New("pagetable: region not promotable")
+)
+
+type entry struct {
+	present bool
+	leaf    bool
+	// accessed and dirty mirror the x86-64 A/D bits: the walker sets
+	// accessed on every traversed entry; software (or a write-aware
+	// caller) sets dirty on leaves.
+	accessed bool
+	dirty    bool
+	// For a leaf, frameBase is the mapped physical page's base address
+	// shifted right by 12 (so 2M leaves hold a 512-aligned value). For
+	// an interior entry, it is the frame of the next-level table.
+	frameBase uint64
+	child     *node // interior only
+}
+
+type node struct {
+	frame   uint64 // physical frame holding this table page
+	entries [addr.EntriesPerTable]entry
+	used    int // number of present entries, for table reclamation
+}
+
+// Table is one 4-level page table rooted at a CR3-like frame.
+type Table struct {
+	alloc      Allocator
+	root       *node
+	tablePages uint64 // page-table pages currently allocated
+	mappings   uint64 // live leaf mappings
+}
+
+// New creates an empty table, allocating its root page.
+func New(alloc Allocator) (*Table, error) {
+	t := &Table{alloc: alloc}
+	root, err := t.newNode()
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	return t, nil
+}
+
+func (t *Table) newNode() (*node, error) {
+	f, err := t.alloc.AllocFrame()
+	if err != nil {
+		return nil, fmt.Errorf("pagetable: allocating table page: %w", err)
+	}
+	t.tablePages++
+	return &node{frame: f}, nil
+}
+
+// Root returns the physical frame of the root (CR3 equivalent).
+func (t *Table) Root() uint64 { return t.root.frame }
+
+// TablePages returns the number of physical pages the table occupies.
+func (t *Table) TablePages() uint64 { return t.tablePages }
+
+// Mappings returns the number of live leaf mappings.
+func (t *Table) Mappings() uint64 { return t.mappings }
+
+// leafLevel returns the level at which a page of size s terminates.
+func leafLevel(s addr.PageSize) int {
+	switch s {
+	case addr.Page4K:
+		return addr.LvlPT
+	case addr.Page2M:
+		return addr.LvlPD
+	case addr.Page1G:
+		return addr.LvlPDPT
+	}
+	panic("pagetable: invalid page size")
+}
+
+// Map installs a translation va → pa of the given page size. Both
+// addresses must be size-aligned. Mapping over an existing translation
+// (of any size) fails with ErrOverlap.
+func (t *Table) Map(va, pa uint64, s addr.PageSize) error {
+	if !addr.IsAligned(va, s) || !addr.IsAligned(pa, s) {
+		return ErrMisaligned
+	}
+	target := leafLevel(s)
+	n := t.root
+	for lvl := 0; lvl < target; lvl++ {
+		e := &n.entries[addr.Index(va, lvl)]
+		if e.present && e.leaf {
+			return ErrOverlap // a larger page already covers this va
+		}
+		if !e.present {
+			child, err := t.newNode()
+			if err != nil {
+				return err
+			}
+			*e = entry{present: true, frameBase: child.frame, child: child}
+			n.used++
+		}
+		n = e.child
+	}
+	e := &n.entries[addr.Index(va, target)]
+	if e.present {
+		return ErrOverlap // smaller or equal mapping already present
+	}
+	*e = entry{present: true, leaf: true, frameBase: pa >> addr.PageShift4K}
+	n.used++
+	t.mappings++
+	return nil
+}
+
+// Unmap removes the translation for va, which must be mapped with
+// exactly page size s. Empty intermediate tables are reclaimed.
+func (t *Table) Unmap(va uint64, s addr.PageSize) error {
+	if !addr.IsAligned(va, s) {
+		return ErrMisaligned
+	}
+	target := leafLevel(s)
+	var path [addr.Levels]*node
+	n := t.root
+	for lvl := 0; lvl < target; lvl++ {
+		path[lvl] = n
+		e := &n.entries[addr.Index(va, lvl)]
+		if !e.present {
+			return ErrNotMapped
+		}
+		if e.leaf {
+			return ErrSizeClash
+		}
+		n = e.child
+	}
+	path[target] = n
+	e := &n.entries[addr.Index(va, target)]
+	if !e.present {
+		return ErrNotMapped
+	}
+	if !e.leaf {
+		return ErrSizeClash
+	}
+	*e = entry{}
+	n.used--
+	t.mappings--
+	// Reclaim empty tables bottom-up (never the root).
+	for lvl := target; lvl > 0; lvl-- {
+		cur := path[lvl]
+		if cur.used > 0 {
+			break
+		}
+		parent := path[lvl-1]
+		pe := &parent.entries[addr.Index(va, lvl-1)]
+		*pe = entry{}
+		parent.used--
+		if err := t.alloc.FreeFrame(cur.frame); err != nil {
+			return fmt.Errorf("pagetable: reclaiming table page: %w", err)
+		}
+		t.tablePages--
+	}
+	return nil
+}
+
+// Ref is one page-walk memory reference: the physical address of the
+// PTE the walker read, and the level it belongs to.
+type Ref struct {
+	Addr  uint64
+	Level int
+}
+
+// Walk translates va, recording each memory reference in refs (appended
+// to the provided buffer to avoid per-walk allocation). On success it
+// returns the physical address, the mapping's page size, and refs.
+// A translation failure returns ok=false with the references performed
+// before the walk aborted — real walkers touch memory before faulting.
+func (t *Table) Walk(va uint64, refs []Ref) (pa uint64, s addr.PageSize, out []Ref, ok bool) {
+	n := t.root
+	for lvl := 0; lvl < addr.Levels; lvl++ {
+		idx := addr.Index(va, lvl)
+		refs = append(refs, Ref{Addr: n.frame<<addr.PageShift4K + uint64(idx)*8, Level: lvl})
+		e := &n.entries[idx]
+		if !e.present {
+			return 0, 0, refs, false
+		}
+		e.accessed = true
+		if e.leaf {
+			switch lvl {
+			case addr.LvlPDPT:
+				s = addr.Page1G
+			case addr.LvlPD:
+				s = addr.Page2M
+			case addr.LvlPT:
+				s = addr.Page4K
+			default:
+				panic("pagetable: leaf at PML4 level")
+			}
+			base := e.frameBase << addr.PageShift4K
+			return base + addr.Offset(va, s), s, refs, true
+		}
+		n = e.child
+	}
+	panic("pagetable: walk fell off the tree")
+}
+
+// Translate is Walk without reference recording, for software paths
+// (fault handlers, page sharing scans) that don't model hardware cost.
+func (t *Table) Translate(va uint64) (pa uint64, s addr.PageSize, ok bool) {
+	n := t.root
+	for lvl := 0; lvl < addr.Levels; lvl++ {
+		e := &n.entries[addr.Index(va, lvl)]
+		if !e.present {
+			return 0, 0, false
+		}
+		if e.leaf {
+			switch lvl {
+			case addr.LvlPDPT:
+				s = addr.Page1G
+			case addr.LvlPD:
+				s = addr.Page2M
+			default:
+				s = addr.Page4K
+			}
+			return e.frameBase<<addr.PageShift4K + addr.Offset(va, s), s, true
+		}
+		n = e.child
+	}
+	return 0, 0, false
+}
+
+// Promote2M replaces 512 4K mappings covering the 2M-aligned region at
+// va with a single 2M mapping, provided all 512 exist and their frames
+// are physically contiguous and 2M-aligned — the transparent-huge-page
+// promotion rule (§VIII, THP configuration).
+func (t *Table) Promote2M(va uint64) error {
+	if !addr.IsAligned(va, addr.Page2M) {
+		return ErrMisaligned
+	}
+	// Locate the PT covering the region.
+	n := t.root
+	for lvl := 0; lvl < addr.LvlPT; lvl++ {
+		e := &n.entries[addr.Index(va, lvl)]
+		if !e.present || e.leaf {
+			return ErrNotPromotable
+		}
+		n = e.child
+	}
+	base := n.entries[0]
+	if !base.present || !base.leaf || base.frameBase%512 != 0 {
+		return ErrNotPromotable
+	}
+	for i := 1; i < addr.EntriesPerTable; i++ {
+		e := n.entries[i]
+		if !e.present || !e.leaf || e.frameBase != base.frameBase+uint64(i) {
+			return ErrNotPromotable
+		}
+	}
+	// Install the 2M leaf in the PD and free the PT page.
+	pd := t.root
+	for lvl := 0; lvl < addr.LvlPD; lvl++ {
+		pd = pd.entries[addr.Index(va, lvl)].child
+	}
+	pde := &pd.entries[addr.Index(va, addr.LvlPD)]
+	*pde = entry{present: true, leaf: true, frameBase: base.frameBase}
+	if err := t.alloc.FreeFrame(n.frame); err != nil {
+		return fmt.Errorf("pagetable: freeing promoted PT: %w", err)
+	}
+	t.tablePages--
+	t.mappings -= addr.EntriesPerTable - 1
+	return nil
+}
+
+// Remap changes the physical target of an existing leaf mapping without
+// altering its size — how compaction move notifications and escape-
+// filter remapping are applied.
+func (t *Table) Remap(va, newPA uint64) error {
+	n := t.root
+	for lvl := 0; lvl < addr.Levels; lvl++ {
+		e := &n.entries[addr.Index(va, lvl)]
+		if !e.present {
+			return ErrNotMapped
+		}
+		if e.leaf {
+			var s addr.PageSize
+			switch lvl {
+			case addr.LvlPDPT:
+				s = addr.Page1G
+			case addr.LvlPD:
+				s = addr.Page2M
+			default:
+				s = addr.Page4K
+			}
+			if !addr.IsAligned(newPA, s) {
+				return ErrMisaligned
+			}
+			e.frameBase = newPA >> addr.PageShift4K
+			return nil
+		}
+		n = e.child
+	}
+	return ErrNotMapped
+}
+
+// MarkDirty sets the dirty bit on the leaf mapping covering va, as a
+// write through the translation would. Returns ErrNotMapped when no
+// mapping covers va.
+func (t *Table) MarkDirty(va uint64) error {
+	n := t.root
+	for lvl := 0; lvl < addr.Levels; lvl++ {
+		e := &n.entries[addr.Index(va, lvl)]
+		if !e.present {
+			return ErrNotMapped
+		}
+		if e.leaf {
+			e.dirty = true
+			e.accessed = true
+			return nil
+		}
+		n = e.child
+	}
+	return ErrNotMapped
+}
+
+// HarvestDirty calls fn for every dirty leaf mapping and clears its
+// dirty bit — the scan a pre-copy live migration performs per pass.
+// It returns the number of dirty pages found.
+func (t *Table) HarvestDirty(fn func(va uint64, s addr.PageSize)) int {
+	return t.harvest(t.root, 0, 0, fn)
+}
+
+func (t *Table) harvest(n *node, lvl int, vaBase uint64, fn func(va uint64, s addr.PageSize)) int {
+	shift := uint(addr.PageShift4K + 9*(addr.Levels-1-lvl))
+	found := 0
+	for i := 0; i < addr.EntriesPerTable; i++ {
+		e := &n.entries[i]
+		if !e.present {
+			continue
+		}
+		va := vaBase | uint64(i)<<shift
+		if e.leaf {
+			if e.dirty {
+				e.dirty = false
+				var s addr.PageSize
+				switch lvl {
+				case addr.LvlPDPT:
+					s = addr.Page1G
+				case addr.LvlPD:
+					s = addr.Page2M
+				default:
+					s = addr.Page4K
+				}
+				fn(va, s)
+				found++
+			}
+			continue
+		}
+		found += t.harvest(e.child, lvl+1, va, fn)
+	}
+	return found
+}
+
+// Accessed reports whether the leaf covering va has its accessed bit
+// set (and clears it when clear is true), supporting working-set
+// sampling.
+func (t *Table) Accessed(va uint64, clear bool) (bool, error) {
+	n := t.root
+	for lvl := 0; lvl < addr.Levels; lvl++ {
+		e := &n.entries[addr.Index(va, lvl)]
+		if !e.present {
+			return false, ErrNotMapped
+		}
+		if e.leaf {
+			was := e.accessed
+			if clear {
+				e.accessed = false
+			}
+			return was, nil
+		}
+		n = e.child
+	}
+	return false, ErrNotMapped
+}
+
+// VisitLeaves calls fn for every leaf mapping in ascending va order.
+// Returning false from fn stops the visit.
+func (t *Table) VisitLeaves(fn func(va, pa uint64, s addr.PageSize) bool) {
+	t.visit(t.root, 0, 0, fn)
+}
+
+func (t *Table) visit(n *node, lvl int, vaBase uint64, fn func(va, pa uint64, s addr.PageSize) bool) bool {
+	shift := uint(addr.PageShift4K + 9*(addr.Levels-1-lvl))
+	for i := 0; i < addr.EntriesPerTable; i++ {
+		e := &n.entries[i]
+		if !e.present {
+			continue
+		}
+		va := vaBase | uint64(i)<<shift
+		if e.leaf {
+			var s addr.PageSize
+			switch lvl {
+			case addr.LvlPDPT:
+				s = addr.Page1G
+			case addr.LvlPD:
+				s = addr.Page2M
+			default:
+				s = addr.Page4K
+			}
+			if !fn(va, e.frameBase<<addr.PageShift4K, s) {
+				return false
+			}
+			continue
+		}
+		if !t.visit(e.child, lvl+1, va, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Destroy releases every page-table page back to the allocator. The
+// table must not be used afterwards.
+func (t *Table) Destroy() error {
+	if err := t.destroy(t.root, 0); err != nil {
+		return err
+	}
+	t.root = nil
+	return nil
+}
+
+func (t *Table) destroy(n *node, lvl int) error {
+	for i := range n.entries {
+		e := &n.entries[i]
+		if e.present && !e.leaf {
+			if err := t.destroy(e.child, lvl+1); err != nil {
+				return err
+			}
+		}
+	}
+	if err := t.alloc.FreeFrame(n.frame); err != nil {
+		return err
+	}
+	t.tablePages--
+	return nil
+}

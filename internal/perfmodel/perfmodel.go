@@ -1,0 +1,99 @@
+// Package perfmodel implements the paper's evaluation methodology
+// (§VII): the linear models of Table IV that predict page-walk cycles
+// for each proposed mode from quantities measured on base systems, and
+// the execution-time overhead metric of §VIII.
+//
+// The paper measures Mn, Cn, Cv with perf counters and classifies TLB
+// misses with BadgerTrap; this reproduction measures the same
+// quantities from the simulator, applies the same models, and — unlike
+// the paper, which could not build the hardware — cross-validates the
+// models against direct simulation of each mode.
+package perfmodel
+
+// Paper constants: Δ is the cost of base-bound checks added to a native
+// walk (§VII, "we use 1 cycle per base-bound check").
+const (
+	// DeltaVD is Δ for VMM Direct: 5 checks per walk.
+	DeltaVD = 5.0
+	// DeltaGD is Δ for Guest Direct: 1 check per walk.
+	DeltaGD = 1.0
+)
+
+// Inputs are the per-workload measurements the models consume.
+type Inputs struct {
+	// Mn is the number of TLB misses in the native run.
+	Mn float64
+	// Cn is page-walk cycles per TLB miss, native.
+	Cn float64
+	// Cv is page-walk cycles per TLB miss, base virtualized (2D walk).
+	Cv float64
+	// FDS is the fraction of native misses inside the direct segment.
+	FDS float64
+	// FVD is the fraction of misses translated only by the VMM segment.
+	FVD float64
+	// FGD is the fraction of misses translated only by the guest
+	// segment.
+	FGD float64
+	// FDD is the fraction of misses inside both segments.
+	FDD float64
+}
+
+// DirectSegment predicts total walk cycles for unvirtualized direct
+// segments: Cn·(1−F_DS)·Mn.
+func (in Inputs) DirectSegment() float64 {
+	return in.Cn * (1 - in.FDS) * in.Mn
+}
+
+// VMMDirect predicts walk cycles for VMM Direct:
+// [(Cn+Δ_VD)·F_VD + Cv·(1−F_VD)]·Mn.
+func (in Inputs) VMMDirect() float64 {
+	return ((in.Cn+DeltaVD)*in.FVD + in.Cv*(1-in.FVD)) * in.Mn
+}
+
+// GuestDirect predicts walk cycles for Guest Direct:
+// [(Cn+Δ_GD)·F_GD + Cv·(1−F_GD)]·Mn.
+func (in Inputs) GuestDirect() float64 {
+	return ((in.Cn+DeltaGD)*in.FGD + in.Cv*(1-in.FGD)) * in.Mn
+}
+
+// DualDirect predicts walk cycles for Dual Direct:
+// [(Cn+Δ_VD)·F_VD + (Cn+Δ_GD)·F_GD + Cv·(1−F_GD−F_VD−F_DD)]·Mn.
+// Misses covered by both segments (F_DD) cost zero.
+func (in Inputs) DualDirect() float64 {
+	return ((in.Cn+DeltaVD)*in.FVD +
+		(in.Cn+DeltaGD)*in.FGD +
+		in.Cv*(1-in.FGD-in.FVD-in.FDD)) * in.Mn
+}
+
+// BaseVirtualized is the measured 2D baseline: Cv·Mn. (The paper's
+// models scale from native miss counts.)
+func (in Inputs) BaseVirtualized() float64 { return in.Cv * in.Mn }
+
+// Native is the measured native baseline: Cn·Mn.
+func (in Inputs) Native() float64 { return in.Cn * in.Mn }
+
+// Overhead is the §VIII execution-time overhead metric:
+// (T_E − T_2Mideal) / T_2Mideal, where T_E = T_ideal + walk cycles and
+// T_2Mideal is the ideal (translation-free) execution time.
+func Overhead(walkCycles, idealCycles float64) float64 {
+	if idealCycles <= 0 {
+		return 0
+	}
+	return walkCycles / idealCycles
+}
+
+// RelativeError compares a model prediction against a direct
+// simulation, |model − sim| / sim, used by the Table IV validation.
+func RelativeError(model, sim float64) float64 {
+	if sim == 0 {
+		if model == 0 {
+			return 0
+		}
+		return 1
+	}
+	d := model - sim
+	if d < 0 {
+		d = -d
+	}
+	return d / sim
+}

@@ -1,0 +1,114 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestDirectSegmentModel(t *testing.T) {
+	in := Inputs{Mn: 1000, Cn: 50, FDS: 0.99}
+	// 1% of 1000 misses still walk at 50 cycles.
+	if got := in.DirectSegment(); !almostEq(got, 50*0.01*1000) {
+		t.Errorf("DirectSegment = %g", got)
+	}
+	// F_DS = 1 eliminates everything.
+	in.FDS = 1
+	if got := in.DirectSegment(); got != 0 {
+		t.Errorf("full coverage = %g", got)
+	}
+}
+
+func TestVMMDirectModel(t *testing.T) {
+	in := Inputs{Mn: 1000, Cn: 50, Cv: 150, FVD: 1}
+	// Full coverage: every miss costs Cn + 5.
+	if got := in.VMMDirect(); !almostEq(got, 55*1000) {
+		t.Errorf("VMMDirect full = %g", got)
+	}
+	in.FVD = 0
+	if got := in.VMMDirect(); !almostEq(got, 150*1000) {
+		t.Errorf("VMMDirect none = %g (should be base virtualized)", got)
+	}
+	in.FVD = 0.5
+	if got := in.VMMDirect(); !almostEq(got, (0.5*55+0.5*150)*1000) {
+		t.Errorf("VMMDirect half = %g", got)
+	}
+}
+
+func TestGuestDirectModel(t *testing.T) {
+	in := Inputs{Mn: 2000, Cn: 40, Cv: 160, FGD: 0.9}
+	want := (0.9*41 + 0.1*160) * 2000
+	if got := in.GuestDirect(); !almostEq(got, want) {
+		t.Errorf("GuestDirect = %g, want %g", got, want)
+	}
+}
+
+func TestDualDirectModel(t *testing.T) {
+	// All misses in both segments: zero cycles.
+	in := Inputs{Mn: 1000, Cn: 50, Cv: 150, FDD: 1}
+	if got := in.DualDirect(); got != 0 {
+		t.Errorf("DualDirect full = %g", got)
+	}
+	// Mixed coverage.
+	in = Inputs{Mn: 1000, Cn: 50, Cv: 150, FDD: 0.7, FVD: 0.1, FGD: 0.1}
+	want := (55*0.1 + 51*0.1 + 150*0.1) * 1000
+	if got := in.DualDirect(); !almostEq(got, want) {
+		t.Errorf("DualDirect mixed = %g, want %g", got, want)
+	}
+}
+
+func TestModeOrderingProperty(t *testing.T) {
+	// For any measurement with Cv > Cn (always true of 2D walks) and
+	// identical coverage f in every mode, the ordering must be
+	// DualDirect <= GuestDirect <= VMMDirect <= BaseVirtualized.
+	f := func(mnSeed, cnSeed, cvSeed uint16, fSeed uint8) bool {
+		in := Inputs{
+			Mn: float64(mnSeed) + 1,
+			Cn: float64(cnSeed%200) + 10,
+		}
+		in.Cv = in.Cn*2 + float64(cvSeed%500) // Cv > Cn
+		cov := float64(fSeed) / 255
+		dd := Inputs{Mn: in.Mn, Cn: in.Cn, Cv: in.Cv, FDD: cov}
+		gd := Inputs{Mn: in.Mn, Cn: in.Cn, Cv: in.Cv, FGD: cov}
+		vd := Inputs{Mn: in.Mn, Cn: in.Cn, Cv: in.Cv, FVD: cov}
+		return dd.DualDirect() <= gd.GuestDirect()+1e-9 &&
+			gd.GuestDirect() <= vd.VMMDirect()+1e-9 &&
+			vd.VMMDirect() <= in.BaseVirtualized()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	if Overhead(50, 100) != 0.5 {
+		t.Error("Overhead wrong")
+	}
+	if Overhead(50, 0) != 0 {
+		t.Error("zero ideal should yield 0")
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if RelativeError(110, 100) != 0.1 {
+		t.Error("RelativeError wrong")
+	}
+	if RelativeError(90, 100) != 0.1 {
+		t.Error("RelativeError not symmetric in sign")
+	}
+	if RelativeError(0, 0) != 0 {
+		t.Error("0/0 should be 0")
+	}
+	if RelativeError(5, 0) != 1 {
+		t.Error("nonzero/0 should be 1")
+	}
+}
+
+func TestNativeBaseline(t *testing.T) {
+	in := Inputs{Mn: 100, Cn: 30, Cv: 90}
+	if in.Native() != 3000 || in.BaseVirtualized() != 9000 {
+		t.Error("baselines wrong")
+	}
+}

@@ -1,0 +1,42 @@
+package physmem
+
+import (
+	"testing"
+
+	"vdirect/internal/trace"
+)
+
+func BenchmarkAllocFree(b *testing.B) {
+	m := New(Config{Name: "b", Size: 1 << 30})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := m.AllocFrame()
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.FreeFrame(f)
+	}
+}
+
+func BenchmarkAllocDense(b *testing.B) {
+	m := New(Config{Name: "b", Size: 8 << 30})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.AllocFrame(); err != nil {
+			b.StopTimer()
+			m = New(Config{Name: "b", Size: 8 << 30})
+			b.StartTimer()
+		}
+	}
+}
+
+func BenchmarkCompactFragmented(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := New(Config{Name: "b", Size: 256 << 20})
+		r := trace.NewRand(uint64(i))
+		m.FragmentRandomly(0.5, r.Uint64n)
+		b.StartTimer()
+		m.Compact()
+	}
+}

@@ -1,0 +1,464 @@
+// Package physmem models a physical memory of 4KB frames. Both the host
+// machine memory and each VM's guest physical memory are instances of
+// Memory. It supplies everything the paper's software stack needs from
+// the physical layer:
+//
+//   - frame allocation and freeing (guest OS / VMM allocators),
+//   - boot-time contiguous reservation (§VI.A),
+//   - fragmentation injection for the §IV studies,
+//   - memory compaction (Linux's compaction daemon, §IV/§VI.C),
+//   - a bad-page list feeding the escape filter (§V),
+//   - the x86-64 I/O gap that splits low memory (§IV).
+package physmem
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"vdirect/internal/addr"
+)
+
+// Errors returned by allocation operations.
+var (
+	ErrOutOfMemory   = errors.New("physmem: out of memory")
+	ErrNoContiguous  = errors.New("physmem: no contiguous run large enough")
+	ErrNotAllocated  = errors.New("physmem: frame not allocated")
+	ErrBadFrame      = errors.New("physmem: frame is on the bad-page list")
+	ErrOutOfRange    = errors.New("physmem: frame out of range")
+	ErrDoubleAlloc   = errors.New("physmem: frame already allocated")
+	ErrGapViolation  = errors.New("physmem: range intersects the I/O gap")
+	ErrAlreadyOnline = errors.New("physmem: range already online")
+)
+
+const frameShift = addr.PageShift4K
+
+// Config controls construction of a Memory.
+type Config struct {
+	// Name labels the memory in errors and dumps ("host", "guest0"...).
+	Name string
+	// Size is the total byte span of the physical address space.
+	Size uint64
+	// IOGap carves the x86-64 I/O gap (3-4GB) out of usable memory, as
+	// real chipsets do. Only meaningful when Size > 3GB.
+	IOGap bool
+}
+
+// Memory is a physical memory frame map. It is not safe for concurrent
+// use; the simulator is single-threaded per experiment.
+type Memory struct {
+	name     string
+	frames   uint64   // total frames spanned (including gap)
+	alloc    []uint64 // allocated bitmap, 1 = in use
+	offline  []uint64 // offline bitmap (I/O gap, unplugged, ballooned)
+	bad      []uint64 // bad-page bitmap
+	numAlloc uint64
+	numOff   uint64
+	ioGap    bool
+	// hint is the word index where the next availability search starts;
+	// it keeps dense allocation O(1) amortized. Invariant: no available
+	// frame exists below word hint.
+	hint int
+
+	// Moves accumulates relocations performed by Compact so the owner
+	// (VMM or guest OS) can repair its mappings.
+	moves []Move
+}
+
+// Move records one frame relocation performed by compaction.
+type Move struct{ Old, New uint64 }
+
+// New creates a Memory per the config.
+func New(cfg Config) *Memory {
+	if cfg.Size == 0 || cfg.Size%addr.PageSize4K != 0 {
+		panic(fmt.Sprintf("physmem: size %#x not a positive multiple of 4K", cfg.Size))
+	}
+	frames := cfg.Size >> frameShift
+	words := (frames + 63) / 64
+	m := &Memory{
+		name:    cfg.Name,
+		frames:  frames,
+		alloc:   make([]uint64, words),
+		offline: make([]uint64, words),
+		bad:     make([]uint64, words),
+		ioGap:   cfg.IOGap && cfg.Size > addr.IOGapStart,
+	}
+	if m.ioGap {
+		start := addr.IOGapStart >> frameShift
+		end := addr.IOGapEnd >> frameShift
+		if end > frames {
+			end = frames
+		}
+		for f := start; f < end; f++ {
+			m.setBit(m.offline, f)
+			m.numOff++
+		}
+	}
+	return m
+}
+
+// Name returns the memory's label.
+func (m *Memory) Name() string { return m.name }
+
+// Frames returns the total number of frames spanned (gap included).
+func (m *Memory) Frames() uint64 { return m.frames }
+
+// Size returns the byte span of the address space.
+func (m *Memory) Size() uint64 { return m.frames << frameShift }
+
+// UsableFrames returns frames that are online (not gap/unplugged).
+func (m *Memory) UsableFrames() uint64 { return m.frames - m.numOff }
+
+// AllocatedFrames returns the number of frames currently in use.
+func (m *Memory) AllocatedFrames() uint64 { return m.numAlloc }
+
+// FreeFrames returns frames that are online, not allocated, not bad.
+func (m *Memory) FreeFrames() uint64 {
+	var n uint64
+	for w := range m.alloc {
+		unavailable := m.alloc[w] | m.offline[w] | m.bad[w]
+		n += uint64(bits.OnesCount64(^unavailable))
+	}
+	// The last word may have phantom bits past the end.
+	if rem := m.frames % 64; rem != 0 {
+		w := len(m.alloc) - 1
+		unavailable := m.alloc[w] | m.offline[w] | m.bad[w]
+		phantom := ^unavailable >> rem
+		n -= uint64(bits.OnesCount64(phantom))
+	}
+	return n
+}
+
+func (m *Memory) setBit(bm []uint64, f uint64)   { bm[f/64] |= 1 << (f % 64) }
+func (m *Memory) clrBit(bm []uint64, f uint64)   { bm[f/64] &^= 1 << (f % 64) }
+func (m *Memory) bit(bm []uint64, f uint64) bool { return bm[f/64]&(1<<(f%64)) != 0 }
+
+// available reports whether frame f can be handed out.
+func (m *Memory) available(f uint64) bool {
+	return f < m.frames &&
+		!m.bit(m.alloc, f) && !m.bit(m.offline, f) && !m.bit(m.bad, f)
+}
+
+// IsAllocated reports whether the frame is currently in use.
+func (m *Memory) IsAllocated(f uint64) bool {
+	return f < m.frames && m.bit(m.alloc, f)
+}
+
+// IsOffline reports whether the frame is offline (gap or unplugged).
+func (m *Memory) IsOffline(f uint64) bool {
+	return f < m.frames && m.bit(m.offline, f)
+}
+
+// IsBad reports whether the frame is on the bad-page list.
+func (m *Memory) IsBad(f uint64) bool {
+	return f < m.frames && m.bit(m.bad, f)
+}
+
+// AllocFrame allocates the lowest-numbered available frame.
+func (m *Memory) AllocFrame() (uint64, error) {
+	for w := m.hint; w < len(m.alloc); w++ {
+		avail := ^(m.alloc[w] | m.offline[w] | m.bad[w])
+		if avail == 0 {
+			if w == m.hint {
+				m.hint = w + 1
+			}
+			continue
+		}
+		f := uint64(w)*64 + uint64(bits.TrailingZeros64(avail))
+		if f >= m.frames {
+			break
+		}
+		m.setBit(m.alloc, f)
+		m.numAlloc++
+		return f, nil
+	}
+	return 0, ErrOutOfMemory
+}
+
+// lowerHint moves the search hint down after a frame becomes available.
+func (m *Memory) lowerHint(f uint64) {
+	if w := int(f / 64); w < m.hint {
+		m.hint = w
+	}
+}
+
+// AllocFrameAt allocates the specific frame, failing if unavailable.
+func (m *Memory) AllocFrameAt(f uint64) error {
+	if f >= m.frames {
+		return ErrOutOfRange
+	}
+	if m.bit(m.alloc, f) {
+		return ErrDoubleAlloc
+	}
+	if m.bit(m.bad, f) {
+		return ErrBadFrame
+	}
+	if m.bit(m.offline, f) {
+		return ErrGapViolation
+	}
+	m.setBit(m.alloc, f)
+	m.numAlloc++
+	return nil
+}
+
+// FreeFrame releases an allocated frame.
+func (m *Memory) FreeFrame(f uint64) error {
+	if f >= m.frames {
+		return ErrOutOfRange
+	}
+	if !m.bit(m.alloc, f) {
+		return ErrNotAllocated
+	}
+	m.clrBit(m.alloc, f)
+	m.numAlloc--
+	m.lowerHint(f)
+	return nil
+}
+
+// AllocContiguous allocates n contiguous available frames whose first
+// frame is aligned to alignFrames (a power of two, >= 1). It returns the
+// first frame number. This is the primitive behind boot-time segment
+// reservation (§VI.A) and hotplugged region backing.
+func (m *Memory) AllocContiguous(n, alignFrames uint64) (uint64, error) {
+	if n == 0 {
+		return 0, ErrNoContiguous
+	}
+	if alignFrames == 0 {
+		alignFrames = 1
+	}
+	start := uint64(m.hint) * 64
+	for start+n <= m.frames {
+		start = addr.AlignUp(start, alignFrames)
+		if start+n > m.frames {
+			break
+		}
+		run := m.freeRunLen(start, n)
+		if run >= n {
+			for f := start; f < start+n; f++ {
+				m.setBit(m.alloc, f)
+			}
+			m.numAlloc += n
+			return start, nil
+		}
+		// Skip past the blocking frame.
+		start += run + 1
+	}
+	return 0, ErrNoContiguous
+}
+
+// freeRunLen counts available frames starting at start, up to max.
+func (m *Memory) freeRunLen(start, max uint64) uint64 {
+	var run uint64
+	for run < max && m.available(start+run) {
+		run++
+	}
+	return run
+}
+
+// LargestFreeRun returns the start and length (in frames) of the longest
+// run of available frames.
+func (m *Memory) LargestFreeRun() (start, length uint64) {
+	var bestStart, bestLen, curStart, curLen uint64
+	inRun := false
+	for f := uint64(0); f < m.frames; f++ {
+		if m.available(f) {
+			if !inRun {
+				curStart, curLen, inRun = f, 0, true
+			}
+			curLen++
+			if curLen > bestLen {
+				bestStart, bestLen = curStart, curLen
+			}
+		} else {
+			inRun = false
+		}
+	}
+	return bestStart, bestLen
+}
+
+// Reserve marks the byte range as allocated in one shot, for boot-time
+// reservation. The range must be 4K-aligned and fully available.
+func (m *Memory) Reserve(r addr.Range) error {
+	if !addr.IsAligned(r.Start, addr.Page4K) || !addr.IsAligned(r.Size, addr.Page4K) {
+		return fmt.Errorf("physmem: reserve %v: not 4K aligned", r)
+	}
+	first := r.Start >> frameShift
+	n := r.Size >> frameShift
+	if first+n > m.frames {
+		return ErrOutOfRange
+	}
+	for f := first; f < first+n; f++ {
+		if !m.available(f) {
+			return fmt.Errorf("physmem: reserve %v: frame %#x unavailable", r, f)
+		}
+	}
+	for f := first; f < first+n; f++ {
+		m.setBit(m.alloc, f)
+	}
+	m.numAlloc += n
+	return nil
+}
+
+// MarkBad places a frame on the bad-page list (§V). An allocated frame
+// may be marked bad — that is precisely the situation the escape filter
+// handles — so this never fails for in-range frames.
+func (m *Memory) MarkBad(f uint64) error {
+	if f >= m.frames {
+		return ErrOutOfRange
+	}
+	m.setBit(m.bad, f)
+	return nil
+}
+
+// BadFrames returns all frames on the bad-page list, ascending.
+func (m *Memory) BadFrames() []uint64 {
+	var out []uint64
+	for f := uint64(0); f < m.frames; f++ {
+		if m.bit(m.bad, f) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Offline takes the byte range out of service (memory hot-unplug). The
+// frames must not be allocated. Used for I/O-gap reclamation (§IV).
+func (m *Memory) Offline(r addr.Range) error {
+	first, n, err := m.frameSpan(r)
+	if err != nil {
+		return err
+	}
+	for f := first; f < first+n; f++ {
+		if m.bit(m.alloc, f) {
+			return fmt.Errorf("physmem: offline %v: frame %#x allocated", r, f)
+		}
+	}
+	for f := first; f < first+n; f++ {
+		if !m.bit(m.offline, f) {
+			m.setBit(m.offline, f)
+			m.numOff++
+		}
+	}
+	return nil
+}
+
+// Online brings an offline byte range into service (memory hotplug add).
+func (m *Memory) Online(r addr.Range) error {
+	first, n, err := m.frameSpan(r)
+	if err != nil {
+		return err
+	}
+	for f := first; f < first+n; f++ {
+		if !m.bit(m.offline, f) {
+			return ErrAlreadyOnline
+		}
+	}
+	for f := first; f < first+n; f++ {
+		m.clrBit(m.offline, f)
+		m.numOff--
+	}
+	m.lowerHint(first)
+	return nil
+}
+
+func (m *Memory) frameSpan(r addr.Range) (first, n uint64, err error) {
+	if !addr.IsAligned(r.Start, addr.Page4K) || !addr.IsAligned(r.Size, addr.Page4K) {
+		return 0, 0, fmt.Errorf("physmem: range %v not 4K aligned", r)
+	}
+	first = r.Start >> frameShift
+	n = r.Size >> frameShift
+	if first+n > m.frames {
+		return 0, 0, ErrOutOfRange
+	}
+	return first, n, nil
+}
+
+// Grow extends the physical address space by size bytes of offline
+// memory and returns the new range. The caller brings it online with
+// Online — this models extending a KVM memory slot (§VI.C).
+func (m *Memory) Grow(size uint64) (addr.Range, error) {
+	if size == 0 || size%addr.PageSize4K != 0 {
+		return addr.Range{}, fmt.Errorf("physmem: grow size %#x not a multiple of 4K", size)
+	}
+	r := addr.Range{Start: m.frames << frameShift, Size: size}
+	n := size >> frameShift
+	m.frames += n
+	words := (m.frames + 63) / 64
+	for uint64(len(m.alloc)) < words {
+		m.alloc = append(m.alloc, 0)
+		m.offline = append(m.offline, 0)
+		m.bad = append(m.bad, 0)
+	}
+	first := r.Start >> frameShift
+	for f := first; f < first+n; f++ {
+		m.setBit(m.offline, f)
+		m.numOff++
+	}
+	return r, nil
+}
+
+// FragmentRandomly allocates approximately frac of the currently free
+// frames at random positions, simulating a long-running system whose
+// free memory is scattered. Returns the frames taken, so tests can free
+// them again. Deterministic under the caller-provided next function
+// (e.g. trace.Rand.Uint64n).
+func (m *Memory) FragmentRandomly(frac float64, next func(n uint64) uint64) []uint64 {
+	if frac <= 0 {
+		return nil
+	}
+	var free []uint64
+	for f := uint64(0); f < m.frames; f++ {
+		if m.available(f) {
+			free = append(free, f)
+		}
+	}
+	take := uint64(float64(len(free)) * frac)
+	var taken []uint64
+	for i := uint64(0); i < take; i++ {
+		j := next(uint64(len(free)))
+		f := free[j]
+		free[j] = free[len(free)-1]
+		free = free[:len(free)-1]
+		m.setBit(m.alloc, f)
+		m.numAlloc++
+		taken = append(taken, f)
+	}
+	return taken
+}
+
+// Compact relocates allocated frames toward the low end of memory until
+// the largest free run cannot be improved, modeling Linux's memory
+// compaction daemon. It returns the moves performed; the caller must
+// repair any translations that referenced the old frames.
+//
+// Frames marked bad or offline are never used as destinations and are
+// never moved (a bad frame's data is gone; an offline frame has none).
+func (m *Memory) Compact() []Move {
+	m.moves = m.moves[:0]
+	// Two-pointer sweep: dst scans for available holes from the bottom,
+	// src scans for allocated frames from the top.
+	dst, src := uint64(0), m.frames
+	for {
+		for dst < m.frames && !m.available(dst) {
+			dst++
+		}
+		for src > 0 && !m.bit(m.alloc, src-1) {
+			src--
+		}
+		if src == 0 || dst >= src-1 {
+			break
+		}
+		src--
+		// Move frame src -> dst.
+		m.clrBit(m.alloc, src)
+		m.setBit(m.alloc, dst)
+		m.moves = append(m.moves, Move{Old: src, New: dst})
+	}
+	return m.moves
+}
+
+// FrameToAddr converts a frame number to its byte address.
+func FrameToAddr(f uint64) uint64 { return f << frameShift }
+
+// AddrToFrame converts a byte address to its frame number.
+func AddrToFrame(a uint64) uint64 { return a >> frameShift }

@@ -1,0 +1,354 @@
+package physmem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vdirect/internal/addr"
+	"vdirect/internal/trace"
+)
+
+func newMem(t *testing.T, sizeMB uint64, gap bool) *Memory {
+	t.Helper()
+	return New(Config{Name: "test", Size: sizeMB << 20, IOGap: gap})
+}
+
+func TestNewRejectsBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with unaligned size did not panic")
+		}
+	}()
+	New(Config{Size: 4097})
+}
+
+func TestAllocFreeSingle(t *testing.T) {
+	m := newMem(t, 1, false) // 256 frames
+	f, err := m.AllocFrame()
+	if err != nil || f != 0 {
+		t.Fatalf("first alloc = %d, %v", f, err)
+	}
+	f2, _ := m.AllocFrame()
+	if f2 != 1 {
+		t.Fatalf("second alloc = %d, want 1", f2)
+	}
+	if m.AllocatedFrames() != 2 {
+		t.Errorf("AllocatedFrames = %d", m.AllocatedFrames())
+	}
+	if err := m.FreeFrame(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.FreeFrame(0); err != ErrNotAllocated {
+		t.Errorf("double free err = %v", err)
+	}
+	f3, _ := m.AllocFrame()
+	if f3 != 0 {
+		t.Errorf("freed frame not reused: got %d", f3)
+	}
+	if err := m.FreeFrame(9999); err != ErrOutOfRange {
+		t.Errorf("out of range free err = %v", err)
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	m := New(Config{Size: 3 * addr.PageSize4K})
+	for i := 0; i < 3; i++ {
+		if _, err := m.AllocFrame(); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	if _, err := m.AllocFrame(); err != ErrOutOfMemory {
+		t.Errorf("err = %v, want ErrOutOfMemory", err)
+	}
+	if m.FreeFrames() != 0 {
+		t.Errorf("FreeFrames = %d", m.FreeFrames())
+	}
+}
+
+func TestAllocFrameAt(t *testing.T) {
+	m := newMem(t, 1, false)
+	if err := m.AllocFrameAt(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AllocFrameAt(5); err != ErrDoubleAlloc {
+		t.Errorf("double AllocFrameAt err = %v", err)
+	}
+	m.MarkBad(7)
+	if err := m.AllocFrameAt(7); err != ErrBadFrame {
+		t.Errorf("bad frame err = %v", err)
+	}
+	if err := m.AllocFrameAt(1 << 30); err != ErrOutOfRange {
+		t.Errorf("range err = %v", err)
+	}
+}
+
+func TestIOGapCarvedOut(t *testing.T) {
+	m := New(Config{Name: "host", Size: 5 << 30, IOGap: true})
+	gapFrames := addr.IOGapSize >> 12
+	if m.UsableFrames() != m.Frames()-gapFrames {
+		t.Errorf("usable = %d, want %d", m.UsableFrames(), m.Frames()-gapFrames)
+	}
+	gapFrame := addr.IOGapStart >> 12
+	if !m.IsOffline(gapFrame) {
+		t.Error("gap frame not offline")
+	}
+	if err := m.AllocFrameAt(gapFrame); err != ErrGapViolation {
+		t.Errorf("alloc in gap err = %v", err)
+	}
+	// The gap splits free memory: 3GB below, 1GB above. The largest run
+	// is the 3GB region starting at 0 — exactly the fragmentation the
+	// paper's I/O-gap reclamation removes.
+	start, length := m.LargestFreeRun()
+	if start != 0 {
+		t.Errorf("largest run starts at %#x, want 0", FrameToAddr(start))
+	}
+	if length != (3<<30)>>12 {
+		t.Errorf("largest run = %d frames, want %d", length, (3<<30)>>12)
+	}
+	// No single run can cover all usable memory while the gap exists.
+	if length == m.UsableFrames() {
+		t.Error("gap did not split free memory")
+	}
+}
+
+func TestAllocContiguousAndAlignment(t *testing.T) {
+	m := newMem(t, 4, false) // 1024 frames
+	// Punch a hole pattern: allocate frames 0..9, free 3..5.
+	for i := 0; i < 10; i++ {
+		m.AllocFrame()
+	}
+	m.FreeFrame(3)
+	m.FreeFrame(4)
+	m.FreeFrame(5)
+	f, err := m.AllocContiguous(3, 1)
+	if err != nil || f != 3 {
+		t.Fatalf("contig(3) = %d, %v; want 3", f, err)
+	}
+	// 512-frame-aligned request must skip to frame 512.
+	f, err = m.AllocContiguous(10, 512)
+	if err != nil || f != 512 {
+		t.Fatalf("aligned contig = %d, %v; want 512", f, err)
+	}
+	// Too-large request fails.
+	if _, err := m.AllocContiguous(2000, 1); err != ErrNoContiguous {
+		t.Errorf("oversize err = %v", err)
+	}
+	if _, err := m.AllocContiguous(0, 1); err != ErrNoContiguous {
+		t.Errorf("zero err = %v", err)
+	}
+}
+
+func TestReserve(t *testing.T) {
+	m := newMem(t, 4, false)
+	r := addr.Range{Start: 1 << 20, Size: 1 << 20}
+	if err := m.Reserve(r); err != nil {
+		t.Fatal(err)
+	}
+	if m.AllocatedFrames() != 256 {
+		t.Errorf("allocated = %d", m.AllocatedFrames())
+	}
+	if err := m.Reserve(r); err == nil {
+		t.Error("double reserve succeeded")
+	}
+	if err := m.Reserve(addr.Range{Start: 1, Size: 4096}); err == nil {
+		t.Error("unaligned reserve succeeded")
+	}
+	if err := m.Reserve(addr.Range{Start: 1 << 30, Size: 4096}); err != ErrOutOfRange {
+		t.Errorf("oob reserve err = %v", err)
+	}
+}
+
+func TestBadPages(t *testing.T) {
+	m := newMem(t, 1, false)
+	if err := m.MarkBad(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.MarkBad(20); err != nil {
+		t.Fatal(err)
+	}
+	bad := m.BadFrames()
+	if len(bad) != 2 || bad[0] != 10 || bad[1] != 20 {
+		t.Errorf("BadFrames = %v", bad)
+	}
+	// Bad frames are skipped by the allocator.
+	for i := 0; i < 30; i++ {
+		f, err := m.AllocFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f == 10 || f == 20 {
+			t.Fatalf("allocator handed out bad frame %d", f)
+		}
+	}
+	if err := m.MarkBad(1 << 30); err != ErrOutOfRange {
+		t.Errorf("oob MarkBad err = %v", err)
+	}
+}
+
+func TestOfflineOnline(t *testing.T) {
+	m := newMem(t, 1, false)
+	r := addr.Range{Start: 0x10000, Size: 0x10000} // frames 16..31
+	if err := m.Offline(r); err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsOffline(16) || !m.IsOffline(31) {
+		t.Error("frames not offline")
+	}
+	if m.UsableFrames() != 256-16 {
+		t.Errorf("usable = %d", m.UsableFrames())
+	}
+	if err := m.AllocFrameAt(16); err != ErrGapViolation {
+		t.Errorf("alloc offline err = %v", err)
+	}
+	if err := m.Online(r); err != nil {
+		t.Fatal(err)
+	}
+	if m.IsOffline(16) {
+		t.Error("frame still offline after Online")
+	}
+	if err := m.Online(r); err != ErrAlreadyOnline {
+		t.Errorf("double online err = %v", err)
+	}
+	// Offline of an allocated frame must fail.
+	m.AllocFrameAt(16)
+	if err := m.Offline(r); err == nil {
+		t.Error("offline of allocated frame succeeded")
+	}
+}
+
+func TestGrow(t *testing.T) {
+	m := newMem(t, 1, false)
+	oldFrames := m.Frames()
+	r, err := m.Grow(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Start != oldFrames<<12 || r.Size != 1<<20 {
+		t.Errorf("grown range = %v", r)
+	}
+	if m.Frames() != oldFrames+256 {
+		t.Errorf("frames = %d", m.Frames())
+	}
+	// Grown memory starts offline.
+	if !m.IsOffline(oldFrames) {
+		t.Error("grown memory not offline")
+	}
+	if err := m.Online(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AllocFrameAt(oldFrames); err != nil {
+		t.Errorf("alloc in grown region: %v", err)
+	}
+	if _, err := m.Grow(100); err == nil {
+		t.Error("unaligned grow succeeded")
+	}
+}
+
+func TestFragmentRandomly(t *testing.T) {
+	m := newMem(t, 4, false)
+	r := trace.NewRand(99)
+	taken := m.FragmentRandomly(0.5, r.Uint64n)
+	if len(taken) != 512 {
+		t.Fatalf("fragmented %d frames, want 512", len(taken))
+	}
+	if m.AllocatedFrames() != 512 {
+		t.Errorf("allocated = %d", m.AllocatedFrames())
+	}
+	// Fragmentation should break long runs: largest run well below 512.
+	_, length := m.LargestFreeRun()
+	if length > 200 {
+		t.Errorf("largest free run after fragmentation = %d, suspiciously long", length)
+	}
+	if got := m.FragmentRandomly(0, r.Uint64n); got != nil {
+		t.Error("frac=0 should take nothing")
+	}
+}
+
+func TestCompact(t *testing.T) {
+	m := newMem(t, 4, false)
+	r := trace.NewRand(7)
+	m.FragmentRandomly(0.5, r.Uint64n)
+	before := m.AllocatedFrames()
+	moves := m.Compact()
+	if m.AllocatedFrames() != before {
+		t.Errorf("compaction changed allocation count %d -> %d", before, m.AllocatedFrames())
+	}
+	if len(moves) == 0 {
+		t.Fatal("no moves performed on fragmented memory")
+	}
+	// After compaction allocated memory is one dense prefix.
+	for f := uint64(0); f < before; f++ {
+		if !m.IsAllocated(f) {
+			t.Fatalf("hole at frame %d after compaction", f)
+		}
+	}
+	start, length := m.LargestFreeRun()
+	if start != before || length != m.Frames()-before {
+		t.Errorf("free run = (%d,%d), want (%d,%d)", start, length, before, m.Frames()-before)
+	}
+	// Idempotent: second compaction does nothing.
+	if moves := m.Compact(); len(moves) != 0 {
+		t.Errorf("second compaction moved %d frames", len(moves))
+	}
+}
+
+func TestCompactAvoidsBadFrames(t *testing.T) {
+	m := newMem(t, 1, false)
+	m.MarkBad(0)
+	m.MarkBad(1)
+	if err := m.AllocFrameAt(100); err != nil {
+		t.Fatal(err)
+	}
+	moves := m.Compact()
+	if len(moves) != 1 || moves[0].New != 2 {
+		t.Errorf("moves = %v, want single move to frame 2", moves)
+	}
+}
+
+func TestCompactMovesAreConsistent(t *testing.T) {
+	// Property: replaying moves over a shadow map preserves the set size
+	// and every destination was free before the move.
+	f := func(seed uint64) bool {
+		m := New(Config{Name: "prop", Size: 2 << 20})
+		r := trace.NewRand(seed)
+		taken := m.FragmentRandomly(0.4, r.Uint64n)
+		owned := make(map[uint64]bool, len(taken))
+		for _, f := range taken {
+			owned[f] = true
+		}
+		for _, mv := range m.Compact() {
+			if !owned[mv.Old] || owned[mv.New] {
+				return false
+			}
+			delete(owned, mv.Old)
+			owned[mv.New] = true
+		}
+		return uint64(len(owned)) == m.AllocatedFrames()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFreeFramesPhantomBits(t *testing.T) {
+	// A memory whose frame count is not a multiple of 64 must not count
+	// phantom bits in the final word.
+	m := New(Config{Size: 70 * addr.PageSize4K})
+	if m.FreeFrames() != 70 {
+		t.Errorf("FreeFrames = %d, want 70", m.FreeFrames())
+	}
+	for i := 0; i < 70; i++ {
+		if _, err := m.AllocFrame(); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	if m.FreeFrames() != 0 {
+		t.Errorf("FreeFrames after exhaustion = %d", m.FreeFrames())
+	}
+}
+
+func TestFrameAddrConversion(t *testing.T) {
+	if FrameToAddr(3) != 0x3000 || AddrToFrame(0x3fff) != 3 {
+		t.Error("frame/addr conversion wrong")
+	}
+}

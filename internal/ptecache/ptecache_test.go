@@ -1,0 +1,91 @@
+package ptecache
+
+import (
+	"testing"
+
+	"vdirect/internal/trace"
+)
+
+func TestHitMissCosts(t *testing.T) {
+	c := New(Config{Lines: 16, Ways: 2, HitCycles: 10, MissCycles: 100})
+	if cost := c.Access(0x1000); cost != 100 {
+		t.Errorf("cold access cost = %d, want 100", cost)
+	}
+	if cost := c.Access(0x1000); cost != 10 {
+		t.Errorf("warm access cost = %d, want 10", cost)
+	}
+	// Same 64B line: different PTE, same line → hit.
+	if cost := c.Access(0x1008); cost != 10 {
+		t.Errorf("same-line access cost = %d, want 10", cost)
+	}
+	// Next line misses.
+	if cost := c.Access(0x1040); cost != 100 {
+		t.Errorf("next-line access cost = %d, want 100", cost)
+	}
+	refs, misses := c.Stats()
+	if refs != 4 || misses != 2 {
+		t.Errorf("stats = %d refs, %d misses", refs, misses)
+	}
+}
+
+func TestEvictionUnderConflict(t *testing.T) {
+	// 4 sets x 2 ways. Lines 0, 4, 8 (i.e. addresses 0, 0x100, 0x200) all
+	// land in set 0.
+	c := New(Config{Lines: 8, Ways: 2, HitCycles: 1, MissCycles: 10})
+	c.Access(0x000)
+	c.Access(0x100)
+	c.Access(0x000) // refresh line 0
+	c.Access(0x200) // evicts line at 0x100 (LRU)
+	if cost := c.Access(0x000); cost != 1 {
+		t.Error("MRU line evicted")
+	}
+	if cost := c.Access(0x100); cost != 10 {
+		t.Error("LRU line survived")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := New(Default)
+	c.Access(0x5000)
+	c.Flush()
+	if cost := c.Access(0x5000); cost != Default.MissCycles {
+		t.Error("flush did not invalidate")
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(Config{Lines: 7, Ways: 2})
+}
+
+func TestDenseVsRandomMissRates(t *testing.T) {
+	// Streaming PTE reads (dense walk) must enjoy a far lower miss rate
+	// than random reads over a large span — the effect that separates
+	// sequential workloads from GUPS.
+	dense := New(Default)
+	for a := uint64(0); a < 1<<20; a += 8 {
+		dense.Access(a)
+	}
+	_, denseMisses := dense.Stats()
+	denseRefs := uint64(1<<20) / 8
+
+	random := New(Default)
+	r := trace.NewRand(1)
+	for i := uint64(0); i < denseRefs; i++ {
+		random.Access(r.Uint64n(1 << 34))
+	}
+	_, randMisses := random.Stats()
+
+	denseRate := float64(denseMisses) / float64(denseRefs)
+	randRate := float64(randMisses) / float64(denseRefs)
+	if denseRate > 0.2 {
+		t.Errorf("dense miss rate = %.3f, want ~1/8", denseRate)
+	}
+	if randRate < 0.9 {
+		t.Errorf("random miss rate = %.3f, want ~1", randRate)
+	}
+}

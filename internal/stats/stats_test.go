@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounters(t *testing.T) {
+	var c Counters
+	if c.Get("x") != 0 {
+		t.Error("untouched counter not zero")
+	}
+	c.Inc("x")
+	c.Add("x", 4)
+	c.Add("y", 2)
+	if c.Get("x") != 5 || c.Get("y") != 2 {
+		t.Errorf("got x=%d y=%d", c.Get("x"), c.Get("y"))
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "x" || names[1] != "y" {
+		t.Errorf("Names = %v", names)
+	}
+	if s := c.String(); s != "x=5 y=2" {
+		t.Errorf("String = %q", s)
+	}
+	var d Counters
+	d.Add("x", 1)
+	d.Add("z", 7)
+	c.Merge(&d)
+	if c.Get("x") != 6 || c.Get("z") != 7 {
+		t.Errorf("after merge x=%d z=%d", c.Get("x"), c.Get("z"))
+	}
+	c.Reset()
+	if c.Get("x") != 0 || len(c.Names()) != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean(nil); g != 0 {
+		t.Errorf("GeoMean(nil) = %g", g)
+	}
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %g, want 4", g)
+	}
+	if g := GeoMean([]float64{3, 3, 3}); math.Abs(g-3) > 1e-12 {
+		t.Errorf("GeoMean(3,3,3) = %g, want 3", g)
+	}
+}
+
+func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GeoMean with 0 did not panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestGeoMeanBetweenMinMax(t *testing.T) {
+	f := func(seed []uint16) bool {
+		if len(seed) == 0 {
+			return true
+		}
+		xs := make([]float64, len(seed))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, s := range seed {
+			xs[i] = float64(s) + 1
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		g := GeoMean(xs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanStdDevCI(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); math.Abs(m-5) > 1e-12 {
+		t.Errorf("Mean = %g, want 5", m)
+	}
+	// Sample stddev of the classic set is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if s := StdDev(xs); math.Abs(s-want) > 1e-12 {
+		t.Errorf("StdDev = %g, want %g", s, want)
+	}
+	ci := CI95(xs)
+	wantCI := 1.96 * want / math.Sqrt(8)
+	if math.Abs(ci-wantCI) > 1e-12 {
+		t.Errorf("CI95 = %g, want %g", ci, wantCI)
+	}
+	if StdDev([]float64{1}) != 0 || CI95([]float64{1}) != 0 {
+		t.Error("single sample should have zero spread")
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || math.Abs(s.Mean-2) > 1e-12 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if !strings.Contains(s.String(), "n=3") {
+		t.Errorf("Summary.String = %q", s.String())
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "workload", "overhead")
+	tb.AddRow("graph500", "28.0%")
+	tb.AddRowf("gups", 105.5)
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	out := tb.Render()
+	for _, want := range []string{"== Demo ==", "workload", "graph500", "105.50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q in:\n%s", want, out)
+		}
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "workload,overhead\n") {
+		t.Errorf("CSV header wrong: %q", csv)
+	}
+	if !strings.Contains(csv, "graph500,28.0%") {
+		t.Errorf("CSV row missing: %q", csv)
+	}
+}
+
+func TestTableRowPadding(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("1")                // short row pads
+	tb.AddRow("1", "2", "3", "4") // long row truncates
+	out := tb.CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if lines[1] != "1,," {
+		t.Errorf("padded row = %q", lines[1])
+	}
+	if lines[2] != "1,2,3" {
+		t.Errorf("truncated row = %q", lines[2])
+	}
+}
+
+func TestRatioPercent(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Error("Ratio wrong")
+	}
+	if Ratio(1, 0) != 0 {
+		t.Error("Ratio by zero should be 0")
+	}
+	if Percent(0.285) != "28.5%" {
+		t.Errorf("Percent = %q", Percent(0.285))
+	}
+}

@@ -1,0 +1,56 @@
+package tlb
+
+import (
+	"testing"
+
+	"vdirect/internal/addr"
+	"vdirect/internal/trace"
+)
+
+func BenchmarkSetAssocLookupHit(b *testing.B) {
+	c := NewSetAssoc("b", 512, 4)
+	for i := uint64(0); i < 512; i++ {
+		c.Insert(Entry{Kind: KindGuest, VPN: i, PPN: i})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(KindGuest, uint64(i)&511)
+	}
+}
+
+func BenchmarkSetAssocLookupMiss(b *testing.B) {
+	c := NewSetAssoc("b", 512, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(KindGuest, uint64(i))
+	}
+}
+
+func BenchmarkSetAssocInsert(b *testing.B) {
+	c := NewSetAssoc("b", 512, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Insert(Entry{Kind: KindGuest, VPN: uint64(i), PPN: uint64(i)})
+	}
+}
+
+func BenchmarkL1MultiSizeLookup(b *testing.B) {
+	l1 := NewL1(SandyBridgeL1)
+	r := trace.NewRand(1)
+	for i := 0; i < 64; i++ {
+		l1.Insert(r.Uint64n(1<<30)&^0xfff, uint64(i)<<12, addr.Page4K)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l1.Lookup(uint64(i) << 12)
+	}
+}
+
+func BenchmarkPWCSkipLevel(b *testing.B) {
+	p := NewPWC()
+	p.FillFrom(0x7f0000000000, 0, addr.LvlPT)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.SkipLevel(0x7f0000000000 + uint64(i)<<12)
+	}
+}

@@ -1,0 +1,405 @@
+// Package tlb models the translation-caching hardware of the evaluated
+// machine (Table VI of the paper):
+//
+//	L1 DTLB:  4KB 64-entry 4-way | 2MB 32-entry 4-way | 1GB 4-entry full
+//	L2 TLB:   4KB 512-entry 4-way, shared by guest and nested entries
+//	          ("EPT TLB/NTLB: shares the TLB (no separate structure)")
+//	PWC:      paging-structure caches for PML4E/PDPTE/PDE entries
+//
+// The shared L2 is load-bearing for the reproduction: because nested
+// (gPA→hPA) entries occupy the same 512 sets as guest (gVA→hPA) entries,
+// virtualization shrinks the effective TLB and inflates miss counts by
+// the 1.29-1.62× the paper measures (§IX.A).
+package tlb
+
+import (
+	"fmt"
+
+	"vdirect/internal/addr"
+)
+
+// EntryKind distinguishes the translation classes sharing the L2 TLB.
+type EntryKind uint8
+
+const (
+	// KindGuest entries map gVA pages to hPA frames (or VA→PA native).
+	KindGuest EntryKind = iota
+	// KindNested entries map gPA pages to hPA frames, created while
+	// walking the nested dimension.
+	KindNested
+)
+
+func (k EntryKind) String() string {
+	if k == KindGuest {
+		return "guest"
+	}
+	return "nested"
+}
+
+// Entry is one cached translation.
+type Entry struct {
+	Kind EntryKind
+	VPN  uint64 // source page number
+	PPN  uint64 // target page number
+	Size addr.PageSize
+}
+
+type slot struct {
+	valid bool
+	kind  EntryKind
+	asid  uint16
+	vpn   uint64
+	ppn   uint64
+	size  addr.PageSize
+	lru   uint64
+}
+
+// SetAssoc is a generic set-associative translation cache with LRU
+// replacement. Entries are keyed by (kind, vpn).
+type SetAssoc struct {
+	name    string
+	sets    int
+	ways    int
+	slots   []slot // sets*ways, row-major
+	clock   uint64
+	lookups uint64
+	hits    uint64
+	// curASID tags guest entries with the running process's address-
+	// space identifier (PCID). Guest entries only hit under the ASID
+	// they were inserted with; nested entries are per-VM and ASID-blind.
+	// The default ASID 0 reproduces untagged (flush-on-switch) TLBs.
+	curASID uint16
+}
+
+// NewSetAssoc creates a cache of entries total entries organized as
+// entries/ways sets. entries must be a multiple of ways.
+func NewSetAssoc(name string, entries, ways int) *SetAssoc {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic(fmt.Sprintf("tlb: bad geometry %d entries / %d ways", entries, ways))
+	}
+	return &SetAssoc{
+		name:  name,
+		sets:  entries / ways,
+		ways:  ways,
+		slots: make([]slot, entries),
+	}
+}
+
+func (c *SetAssoc) set(vpn uint64) []slot {
+	s := int(vpn) % c.sets
+	if s < 0 {
+		s = -s
+	}
+	return c.slots[s*c.ways : (s+1)*c.ways]
+}
+
+// Lookup searches for (kind, vpn); on a hit it refreshes LRU state and
+// returns the target page number.
+func (c *SetAssoc) Lookup(kind EntryKind, vpn uint64) (ppn uint64, hit bool) {
+	c.lookups++
+	c.clock++
+	for i := range c.set(vpn) {
+		s := &c.set(vpn)[i]
+		if s.valid && s.kind == kind && s.vpn == vpn &&
+			(kind == KindNested || s.asid == c.curASID) {
+			s.lru = c.clock
+			c.hits++
+			return s.ppn, true
+		}
+	}
+	return 0, false
+}
+
+// SetASID changes the address-space identifier tagging guest entries.
+func (c *SetAssoc) SetASID(a uint16) { c.curASID = a }
+
+// FlushASID invalidates the guest entries of one address space.
+func (c *SetAssoc) FlushASID(a uint16) {
+	for i := range c.slots {
+		if c.slots[i].kind == KindGuest && c.slots[i].asid == a {
+			c.slots[i].valid = false
+		}
+	}
+}
+
+// Insert installs an entry, evicting the LRU way of its set if needed.
+func (c *SetAssoc) Insert(e Entry) {
+	c.clock++
+	set := c.set(e.VPN)
+	victim := 0
+	for i := range set {
+		s := &set[i]
+		if s.valid && s.kind == e.Kind && s.vpn == e.VPN &&
+			(e.Kind == KindNested || s.asid == c.curASID) {
+			victim = i // refresh in place
+			break
+		}
+		if !s.valid {
+			victim = i
+			break
+		}
+		if s.lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = slot{valid: true, kind: e.Kind, asid: c.curASID, vpn: e.VPN, ppn: e.PPN, size: e.Size, lru: c.clock}
+}
+
+// Flush invalidates every entry.
+func (c *SetAssoc) Flush() {
+	for i := range c.slots {
+		c.slots[i].valid = false
+	}
+}
+
+// FlushKind invalidates entries of one kind (e.g. nested entries on a
+// nested-page-table change).
+func (c *SetAssoc) FlushKind(kind EntryKind) {
+	for i := range c.slots {
+		if c.slots[i].kind == kind {
+			c.slots[i].valid = false
+		}
+	}
+}
+
+// InvalidatePage removes a specific translation, as INVLPG would.
+func (c *SetAssoc) InvalidatePage(kind EntryKind, vpn uint64) {
+	for i := range c.set(vpn) {
+		s := &c.set(vpn)[i]
+		if s.valid && s.kind == kind && s.vpn == vpn {
+			s.valid = false
+		}
+	}
+}
+
+// Stats returns lifetime lookups and hits.
+func (c *SetAssoc) Stats() (lookups, hits uint64) { return c.lookups, c.hits }
+
+// Occupancy returns the number of valid entries (tests and the energy
+// discussion use it).
+func (c *SetAssoc) Occupancy() int {
+	n := 0
+	for i := range c.slots {
+		if c.slots[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Geometry describes one TLB level's configuration, per page size.
+type Geometry struct {
+	Entries4K, Ways4K int
+	Entries2M, Ways2M int
+	Entries1G, Ways1G int
+}
+
+// SandyBridgeL1 is the evaluated machine's L1 DTLB (Table VI).
+var SandyBridgeL1 = Geometry{
+	Entries4K: 64, Ways4K: 4,
+	Entries2M: 32, Ways2M: 4,
+	Entries1G: 4, Ways1G: 4,
+}
+
+// L1 is the first-level data TLB: separate structures per page size,
+// looked up in parallel. It holds only complete gVA→hPA translations.
+type L1 struct {
+	by4K, by2M, by1G *SetAssoc
+}
+
+// NewL1 builds an L1 TLB with the given geometry.
+func NewL1(g Geometry) *L1 {
+	return &L1{
+		by4K: NewSetAssoc("L1-4K", g.Entries4K, g.Ways4K),
+		by2M: NewSetAssoc("L1-2M", g.Entries2M, g.Ways2M),
+		by1G: NewSetAssoc("L1-1G", g.Entries1G, g.Ways1G),
+	}
+}
+
+func (l *L1) structFor(s addr.PageSize) *SetAssoc {
+	switch s {
+	case addr.Page4K:
+		return l.by4K
+	case addr.Page2M:
+		return l.by2M
+	default:
+		return l.by1G
+	}
+}
+
+// Lookup probes all three size structures in parallel, as hardware does.
+func (l *L1) Lookup(va uint64) (pa uint64, size addr.PageSize, hit bool) {
+	for _, s := range []addr.PageSize{addr.Page4K, addr.Page2M, addr.Page1G} {
+		vpn := addr.PageNumber(va, s)
+		if ppn, ok := l.structFor(s).Lookup(KindGuest, vpn); ok {
+			return ppn<<s.Shift() + addr.Offset(va, s), s, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Insert caches a completed translation at its page size.
+func (l *L1) Insert(va, pa uint64, s addr.PageSize) {
+	l.structFor(s).Insert(Entry{
+		Kind: KindGuest,
+		VPN:  addr.PageNumber(va, s),
+		PPN:  addr.PageNumber(pa, s),
+		Size: s,
+	})
+}
+
+// Flush empties the L1 (guest context switch without PCID).
+func (l *L1) Flush() {
+	l.by4K.Flush()
+	l.by2M.Flush()
+	l.by1G.Flush()
+}
+
+// SetASID switches the L1's current address-space identifier.
+func (l *L1) SetASID(a uint16) {
+	l.by4K.SetASID(a)
+	l.by2M.SetASID(a)
+	l.by1G.SetASID(a)
+}
+
+// Invalidate drops any entry translating va, at every page size, as
+// INVLPG does.
+func (l *L1) Invalidate(va uint64) {
+	for _, s := range []addr.PageSize{addr.Page4K, addr.Page2M, addr.Page1G} {
+		l.structFor(s).InvalidatePage(KindGuest, addr.PageNumber(va, s))
+	}
+}
+
+// L2 is the unified second-level TLB. Per Table VI it holds 4K guest
+// entries; the same physical structure also holds nested (gPA→hPA)
+// entries when virtualized, which is what erodes guest capacity.
+// Guest 2M/1G translations bypass the L2 (Sandy Bridge behaviour).
+type L2 struct {
+	c *SetAssoc
+	// nestedInserts counts nested entries installed, for the capacity-
+	// pollution analysis.
+	nestedInserts uint64
+}
+
+// NewL2 builds the shared second-level TLB.
+func NewL2(entries, ways int) *L2 {
+	return &L2{c: NewSetAssoc("L2", entries, ways)}
+}
+
+// LookupGuest probes for a guest 4K translation.
+func (l *L2) LookupGuest(va uint64) (pa uint64, hit bool) {
+	vpn := addr.PageNumber(va, addr.Page4K)
+	ppn, ok := l.c.Lookup(KindGuest, vpn)
+	if !ok {
+		return 0, false
+	}
+	return ppn<<addr.PageShift4K + addr.Offset(va, addr.Page4K), true
+}
+
+// InsertGuest caches a guest 4K translation.
+func (l *L2) InsertGuest(va, pa uint64) {
+	l.c.Insert(Entry{Kind: KindGuest, VPN: va >> addr.PageShift4K, PPN: pa >> addr.PageShift4K, Size: addr.Page4K})
+}
+
+// LookupNested probes for a nested gPA→hPA translation at 4K grain.
+func (l *L2) LookupNested(gpa uint64) (hpa uint64, hit bool) {
+	ppn, ok := l.c.Lookup(KindNested, gpa>>addr.PageShift4K)
+	if !ok {
+		return 0, false
+	}
+	return ppn<<addr.PageShift4K + (gpa & (addr.PageSize4K - 1)), true
+}
+
+// InsertNested caches a nested translation in the shared structure.
+func (l *L2) InsertNested(gpa, hpa uint64) {
+	l.nestedInserts++
+	l.c.Insert(Entry{Kind: KindNested, VPN: gpa >> addr.PageShift4K, PPN: hpa >> addr.PageShift4K, Size: addr.Page4K})
+}
+
+// Flush empties the L2.
+func (l *L2) Flush() { l.c.Flush() }
+
+// SetASID switches the L2's current address-space identifier.
+func (l *L2) SetASID(a uint16) { l.c.SetASID(a) }
+
+// InvalidateGuest drops the guest 4K entry for va, if present.
+func (l *L2) InvalidateGuest(va uint64) {
+	l.c.InvalidatePage(KindGuest, va>>addr.PageShift4K)
+}
+
+// FlushNested drops only nested entries (nested PT modification).
+func (l *L2) FlushNested() { l.c.FlushKind(KindNested) }
+
+// Stats returns lookups, hits and nested insertions.
+func (l *L2) Stats() (lookups, hits, nestedInserts uint64) {
+	lu, h := l.c.Stats()
+	return lu, h, l.nestedInserts
+}
+
+// Occupancy returns valid entries in the shared structure.
+func (l *L2) Occupancy() int { return l.c.Occupancy() }
+
+// PWC is the set of paging-structure caches (MMU caches) that let the
+// walker skip upper levels: separate small fully-associative caches for
+// PML4E, PDPTE and PDE entries, tagged by the virtual-address prefix.
+// Sizes follow Intel-like paging-structure caches.
+type PWC struct {
+	pml4e *SetAssoc // tag: va bits 47:39
+	pdpte *SetAssoc // tag: va bits 47:30
+	pde   *SetAssoc // tag: va bits 47:21
+}
+
+// NewPWC builds paging-structure caches of conventional sizes.
+func NewPWC() *PWC {
+	return &PWC{
+		pml4e: NewSetAssoc("PWC-PML4E", 2, 2),
+		pdpte: NewSetAssoc("PWC-PDPTE", 4, 4),
+		pde:   NewSetAssoc("PWC-PDE", 32, 4),
+	}
+}
+
+// SkipLevel returns how many upper levels of a walk for va can be
+// skipped (0 = none, 3 = start directly at the PT level) given cached
+// paging structures. Deeper caches are preferred, as in hardware.
+func (p *PWC) SkipLevel(va uint64) int {
+	if _, ok := p.pde.Lookup(KindGuest, va>>addr.PageShift2M); ok {
+		return 3
+	}
+	if _, ok := p.pdpte.Lookup(KindGuest, va>>addr.PageShift1G); ok {
+		return 2
+	}
+	if _, ok := p.pml4e.Lookup(KindGuest, va>>(addr.PageShift1G+9)); ok {
+		return 1
+	}
+	return 0
+}
+
+// FillFrom records the paging structures traversed by a completed walk
+// that started at level startLvl and ended at endLvl (leaf level).
+func (p *PWC) FillFrom(va uint64, startLvl, endLvl int) {
+	for lvl := startLvl; lvl < endLvl; lvl++ {
+		switch lvl {
+		case addr.LvlPML4:
+			p.pml4e.Insert(Entry{Kind: KindGuest, VPN: va >> (addr.PageShift1G + 9)})
+		case addr.LvlPDPT:
+			p.pdpte.Insert(Entry{Kind: KindGuest, VPN: va >> addr.PageShift1G})
+		case addr.LvlPD:
+			p.pde.Insert(Entry{Kind: KindGuest, VPN: va >> addr.PageShift2M})
+		}
+	}
+}
+
+// SetASID switches the paging-structure caches' address space: cached
+// structure pointers are per-process state just like TLB entries.
+func (p *PWC) SetASID(a uint16) {
+	p.pml4e.SetASID(a)
+	p.pdpte.SetASID(a)
+	p.pde.SetASID(a)
+}
+
+// Flush empties all three caches.
+func (p *PWC) Flush() {
+	p.pml4e.Flush()
+	p.pdpte.Flush()
+	p.pde.Flush()
+}

@@ -1,0 +1,248 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vdirect/internal/addr"
+	"vdirect/internal/trace"
+)
+
+func TestSetAssocBasic(t *testing.T) {
+	c := NewSetAssoc("t", 8, 2)
+	if _, hit := c.Lookup(KindGuest, 5); hit {
+		t.Error("empty cache hit")
+	}
+	c.Insert(Entry{Kind: KindGuest, VPN: 5, PPN: 50})
+	if ppn, hit := c.Lookup(KindGuest, 5); !hit || ppn != 50 {
+		t.Errorf("lookup = %d, %v", ppn, hit)
+	}
+	// Same VPN, different kind must miss.
+	if _, hit := c.Lookup(KindNested, 5); hit {
+		t.Error("kind confusion")
+	}
+	lu, h := c.Stats()
+	if lu != 3 || h != 1 {
+		t.Errorf("stats = %d lookups, %d hits", lu, h)
+	}
+}
+
+func TestSetAssocReplaceInPlace(t *testing.T) {
+	c := NewSetAssoc("t", 4, 2)
+	c.Insert(Entry{Kind: KindGuest, VPN: 2, PPN: 10})
+	c.Insert(Entry{Kind: KindGuest, VPN: 2, PPN: 20})
+	if ppn, hit := c.Lookup(KindGuest, 2); !hit || ppn != 20 {
+		t.Errorf("replace in place failed: %d, %v", ppn, hit)
+	}
+	if c.Occupancy() != 1 {
+		t.Errorf("occupancy = %d, want 1 (no duplicate)", c.Occupancy())
+	}
+}
+
+func TestSetAssocLRUEviction(t *testing.T) {
+	// 2 sets x 2 ways; VPNs 0,2,4 share set 0.
+	c := NewSetAssoc("t", 4, 2)
+	c.Insert(Entry{Kind: KindGuest, VPN: 0, PPN: 100})
+	c.Insert(Entry{Kind: KindGuest, VPN: 2, PPN: 102})
+	c.Lookup(KindGuest, 0) // make VPN 0 MRU
+	c.Insert(Entry{Kind: KindGuest, VPN: 4, PPN: 104})
+	if _, hit := c.Lookup(KindGuest, 2); hit {
+		t.Error("LRU entry survived eviction")
+	}
+	if _, hit := c.Lookup(KindGuest, 0); !hit {
+		t.Error("MRU entry evicted")
+	}
+	if _, hit := c.Lookup(KindGuest, 4); !hit {
+		t.Error("inserted entry missing")
+	}
+}
+
+func TestSetAssocFlushAndInvalidate(t *testing.T) {
+	c := NewSetAssoc("t", 8, 2)
+	c.Insert(Entry{Kind: KindGuest, VPN: 1, PPN: 1})
+	c.Insert(Entry{Kind: KindNested, VPN: 2, PPN: 2})
+	c.FlushKind(KindNested)
+	if _, hit := c.Lookup(KindNested, 2); hit {
+		t.Error("FlushKind missed nested entry")
+	}
+	if _, hit := c.Lookup(KindGuest, 1); !hit {
+		t.Error("FlushKind hit guest entry")
+	}
+	c.InvalidatePage(KindGuest, 1)
+	if _, hit := c.Lookup(KindGuest, 1); hit {
+		t.Error("InvalidatePage missed")
+	}
+	c.Insert(Entry{Kind: KindGuest, VPN: 3, PPN: 3})
+	c.Flush()
+	if c.Occupancy() != 0 {
+		t.Error("Flush left entries")
+	}
+}
+
+func TestSetAssocBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad geometry did not panic")
+		}
+	}()
+	NewSetAssoc("bad", 5, 2)
+}
+
+func TestL1MultiSizeParallelLookup(t *testing.T) {
+	l1 := NewL1(SandyBridgeL1)
+	l1.Insert(0x1000, 0xa000, addr.Page4K)
+	l1.Insert(0x200000, 0x600000, addr.Page2M)
+	l1.Insert(0x40000000, 0x80000000, addr.Page1G)
+
+	pa, s, hit := l1.Lookup(0x1abc)
+	if !hit || pa != 0xaabc || s != addr.Page4K {
+		t.Errorf("4K lookup = %#x %v %v", pa, s, hit)
+	}
+	pa, s, hit = l1.Lookup(0x2abcde)
+	if !hit || pa != 0x6abcde || s != addr.Page2M {
+		t.Errorf("2M lookup = %#x %v %v", pa, s, hit)
+	}
+	pa, s, hit = l1.Lookup(0x40000000 + 0x123456)
+	if !hit || pa != 0x80123456 || s != addr.Page1G {
+		t.Errorf("1G lookup = %#x %v %v", pa, s, hit)
+	}
+	if _, _, hit := l1.Lookup(0x99999000); hit {
+		t.Error("phantom hit")
+	}
+	l1.Flush()
+	if _, _, hit := l1.Lookup(0x1abc); hit {
+		t.Error("flush did not clear L1")
+	}
+}
+
+func TestL1Capacity4K(t *testing.T) {
+	l1 := NewL1(SandyBridgeL1)
+	// Insert 65 distinct 4K pages that all map to different sets; with
+	// 64 entries some must be evicted.
+	for i := uint64(0); i < 65; i++ {
+		l1.Insert(i<<12, i<<12, addr.Page4K)
+	}
+	hits := 0
+	for i := uint64(0); i < 65; i++ {
+		if _, _, hit := l1.Lookup(i << 12); hit {
+			hits++
+		}
+	}
+	if hits > 64 {
+		t.Errorf("capacity exceeded: %d hits", hits)
+	}
+	if hits < 60 {
+		t.Errorf("too few survivors: %d", hits)
+	}
+}
+
+func TestL2SharedNestedCapacityErosion(t *testing.T) {
+	// The key §IX.A mechanism: nested entries consume L2 capacity.
+	l2 := NewL2(512, 4)
+	// Fill with 512 guest entries (full occupancy).
+	for i := uint64(0); i < 512; i++ {
+		l2.InsertGuest(i<<12, i<<12)
+	}
+	if l2.Occupancy() != 512 {
+		t.Fatalf("occupancy = %d", l2.Occupancy())
+	}
+	guestHitsBefore := 0
+	for i := uint64(0); i < 512; i++ {
+		if _, hit := l2.LookupGuest(i << 12); hit {
+			guestHitsBefore++
+		}
+	}
+	// Insert 256 nested entries; they must evict guest entries.
+	for i := uint64(0); i < 256; i++ {
+		l2.InsertNested(0x80000000+i<<12, i<<12)
+	}
+	guestHitsAfter := 0
+	for i := uint64(0); i < 512; i++ {
+		if _, hit := l2.LookupGuest(i << 12); hit {
+			guestHitsAfter++
+		}
+	}
+	if guestHitsAfter >= guestHitsBefore {
+		t.Errorf("nested entries did not erode guest capacity: %d -> %d",
+			guestHitsBefore, guestHitsAfter)
+	}
+	_, _, nested := l2.Stats()
+	if nested != 256 {
+		t.Errorf("nestedInserts = %d", nested)
+	}
+}
+
+func TestL2NestedLookupOffsetPreserved(t *testing.T) {
+	l2 := NewL2(512, 4)
+	l2.InsertNested(0x5000, 0x9000)
+	hpa, hit := l2.LookupNested(0x5123)
+	if !hit || hpa != 0x9123 {
+		t.Errorf("nested lookup = %#x %v", hpa, hit)
+	}
+	l2.FlushNested()
+	if _, hit := l2.LookupNested(0x5123); hit {
+		t.Error("FlushNested missed")
+	}
+}
+
+func TestPWCSkipLevels(t *testing.T) {
+	p := NewPWC()
+	va := uint64(0x7f1234567000)
+	if skip := p.SkipLevel(va); skip != 0 {
+		t.Errorf("cold PWC skip = %d", skip)
+	}
+	// A full 4-level walk fills all three caches.
+	p.FillFrom(va, 0, addr.LvlPT)
+	if skip := p.SkipLevel(va); skip != 3 {
+		t.Errorf("warm PWC skip = %d, want 3", skip)
+	}
+	// A va sharing only the 1G region gets skip=2.
+	sibling2M := va + addr.PageSize2M
+	if skip := p.SkipLevel(sibling2M); skip != 2 {
+		t.Errorf("2M sibling skip = %d, want 2", skip)
+	}
+	// A va sharing only the PML4 entry gets skip=1.
+	sibling1G := va + addr.PageSize1G
+	if skip := p.SkipLevel(sibling1G); skip != 1 {
+		t.Errorf("1G sibling skip = %d, want 1", skip)
+	}
+	p.Flush()
+	if skip := p.SkipLevel(va); skip != 0 {
+		t.Errorf("flushed PWC skip = %d", skip)
+	}
+}
+
+func TestPWCPartialFill(t *testing.T) {
+	p := NewPWC()
+	va := uint64(0x40000000)
+	// A 2M-leaf walk (ends at PD) fills PML4E and PDPTE only.
+	p.FillFrom(va, 0, addr.LvlPD)
+	if skip := p.SkipLevel(va); skip != 2 {
+		t.Errorf("skip = %d, want 2", skip)
+	}
+}
+
+func TestLookupInsertRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := trace.NewRand(seed)
+		c := NewSetAssoc("prop", 64, 4)
+		// Whatever we just inserted must be immediately findable.
+		for i := 0; i < 200; i++ {
+			vpn := r.Uint64n(1 << 20)
+			c.Insert(Entry{Kind: KindGuest, VPN: vpn, PPN: vpn * 2})
+			if ppn, hit := c.Lookup(KindGuest, vpn); !hit || ppn != vpn*2 {
+				return false
+			}
+		}
+		return c.Occupancy() <= 64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEntryKindString(t *testing.T) {
+	if KindGuest.String() != "guest" || KindNested.String() != "nested" {
+		t.Error("kind strings wrong")
+	}
+}

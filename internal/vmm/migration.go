@@ -1,0 +1,171 @@
+// Live migration: the service Table II cites as the reason Guest Direct
+// keeps nested page tables in the VMM ("using nested page tables in the
+// VMM to facilitate services like live migration"). A VM whose memory
+// is mapped by a VMM segment cannot be live-migrated page-wise; one
+// using nested paging can, via iterative pre-copy.
+
+package vmm
+
+import (
+	"errors"
+	"fmt"
+
+	"vdirect/internal/addr"
+	"vdirect/internal/pagetable"
+	"vdirect/internal/physmem"
+)
+
+// ErrSegmentPinned is returned when live migration is attempted while a
+// VMM segment maps the guest (Table II: VMM swapping/migration limited).
+var ErrSegmentPinned = errors.New("vmm: VMM segment active; disable it before live migration")
+
+// MigrationReport summarizes one live migration.
+type MigrationReport struct {
+	// PassPages[i] is the number of pages copied in pre-copy pass i.
+	PassPages []uint64
+	// DowntimePages were copied during the final stop-and-copy.
+	DowntimePages uint64
+	// TotalCopied counts all page copies, including recopies.
+	TotalCopied uint64
+}
+
+// Passes returns the number of pre-copy iterations performed.
+func (r MigrationReport) Passes() int { return len(r.PassPages) }
+
+// MarkDirty records a guest store to gpa in the nested page table's
+// dirty bits, feeding live-migration dirty tracking.
+func (vm *VM) MarkDirty(gpa uint64) error {
+	return vm.NPT.MarkDirty(gpa)
+}
+
+// HarvestDirtyGPAs scans and clears the nested table's dirty bits,
+// returning the dirtied guest physical pages.
+func (vm *VM) HarvestDirtyGPAs() []uint64 {
+	var out []uint64
+	vm.NPT.HarvestDirty(func(gpa uint64, _ addr.PageSize) {
+		out = append(out, gpa)
+	})
+	return out
+}
+
+// Migrate live-migrates vm to dst using iterative pre-copy: pass 0
+// copies every mapped page; each later pass copies the pages dirtied
+// while the previous pass ran, reported by the dirtied callback (pass
+// index → dirtied gPAs). A nil callback uses the nested page table's
+// hardware dirty bits (MarkDirty/HarvestDirtyGPAs). Pre-copy stops when
+// the dirty set is at most stopThreshold pages (or after maxPasses),
+// and the remainder is copied with the VM paused. The migrated VM is
+// returned registered on dst.
+//
+// Only 4K-nested VMs without an active VMM segment can migrate: a VMM
+// segment pins the whole guest to one host range (Table II).
+func (h *Host) Migrate(vm *VM, dst *Host, dirtied func(pass int) []uint64,
+	stopThreshold uint64, maxPasses int) (*VM, MigrationReport, error) {
+	var rep MigrationReport
+	if vm.VMMSegment().Enabled() {
+		return nil, rep, ErrSegmentPinned
+	}
+	if vm.cfg.NestedPageSize != addr.Page4K {
+		return nil, rep, ErrBadNestedSize
+	}
+	if maxPasses <= 0 {
+		maxPasses = 8
+	}
+	if dirtied == nil {
+		dirtied = func(int) []uint64 { return vm.HarvestDirtyGPAs() }
+	}
+
+	// Build the destination VM shell: same guest physical layout, fresh
+	// nested page table on dst.
+	newVM := &VM{
+		Name:         vm.Name,
+		host:         dst,
+		GuestMem:     vm.GuestMem, // guest physical state moves wholesale
+		cfg:          vm.cfg,
+		content:      vm.content,
+		sharedFrames: make(map[uint64]bool),
+	}
+	npt, err := pagetable.New(dst.Mem)
+	if err != nil {
+		return nil, rep, err
+	}
+	newVM.NPT = npt
+	newVM.buildSlots()
+
+	copyPage := func(gpa uint64) error {
+		if _, _, ok := vm.NPT.Translate(gpa); !ok {
+			return nil // unbacked (ballooned/unplugged): nothing to copy
+		}
+		if _, _, ok := newVM.NPT.Translate(gpa); ok {
+			rep.TotalCopied++ // recopy of a dirtied page, in place
+			return nil
+		}
+		f, err := dst.Mem.AllocFrame()
+		if err != nil {
+			return fmt.Errorf("vmm: migration destination frame: %w", err)
+		}
+		hpa := physmem.FrameToAddr(f)
+		if err := newVM.NPT.Map(gpa, hpa, addr.Page4K); err != nil {
+			return err
+		}
+		newVM.registerBacking(gpa, hpa, addr.PageSize4K)
+		rep.TotalCopied++
+		return nil
+	}
+
+	// Pass 0: everything currently mapped.
+	var first []uint64
+	vm.NPT.VisitLeaves(func(gpa, hpa uint64, s addr.PageSize) bool {
+		first = append(first, gpa)
+		return true
+	})
+	work := first
+	for pass := 0; ; pass++ {
+		for _, gpa := range work {
+			if err := copyPage(gpa); err != nil {
+				return nil, rep, err
+			}
+		}
+		rep.PassPages = append(rep.PassPages, uint64(len(work)))
+		var next []uint64
+		if dirtied != nil {
+			next = dirtied(pass)
+		}
+		if uint64(len(next)) <= stopThreshold || pass+1 >= maxPasses {
+			// Stop-and-copy: the VM pauses while the final dirty set
+			// transfers.
+			for _, gpa := range next {
+				if err := copyPage(gpa); err != nil {
+					return nil, rep, err
+				}
+			}
+			rep.DowntimePages = uint64(len(next))
+			break
+		}
+		work = next
+	}
+
+	// Release the source backing and hand the VM over.
+	for _, gpa := range first {
+		hpa, _, ok := vm.NPT.Translate(gpa)
+		if !ok {
+			continue
+		}
+		vm.unregisterBacking(hpa, addr.PageSize4K)
+		if err := h.Mem.FreeFrame(physmem.AddrToFrame(hpa)); err != nil {
+			return nil, rep, err
+		}
+	}
+	dst.vms = append(dst.vms, newVM)
+	h.removeVM(vm)
+	return newVM, rep, nil
+}
+
+func (h *Host) removeVM(vm *VM) {
+	for i, v := range h.vms {
+		if v == vm {
+			h.vms = append(h.vms[:i], h.vms[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Mode tradeoffs (Table II) and the dynamic mode policy for fragmented
+// systems (Table III).
+
+package vmm
+
+import "vdirect/internal/mmu"
+
+// Support grades how well a mode supports a memory-management service.
+type Support uint8
+
+// Support levels used by Table II.
+const (
+	Unrestricted Support = iota
+	Limited
+)
+
+func (s Support) String() string {
+	if s == Unrestricted {
+		return "unrestricted"
+	}
+	return "limited"
+}
+
+// Capabilities reproduces one column of Table II.
+type Capabilities struct {
+	Mode            mmu.Mode
+	WalkDims        string
+	MemAccesses     int // memory accesses for most page walks
+	BaseBoundChecks int
+	GuestOSMods     bool
+	VMMMods         bool
+	AppCategory     string // "any" or "big memory"
+	PageSharing     Support
+	Ballooning      Support
+	GuestSwapping   Support
+	VMMSwapping     Support
+}
+
+// CapabilitiesOf returns the Table II column for a virtualized mode.
+// It panics for unvirtualized modes, which the table does not cover.
+func CapabilitiesOf(m mmu.Mode) Capabilities {
+	switch m {
+	case mmu.ModeBaseVirtualized:
+		return Capabilities{
+			Mode: m, WalkDims: "2D", MemAccesses: 24, BaseBoundChecks: 0,
+			AppCategory: "any",
+			PageSharing: Unrestricted, Ballooning: Unrestricted,
+			GuestSwapping: Unrestricted, VMMSwapping: Unrestricted,
+		}
+	case mmu.ModeDualDirect:
+		return Capabilities{
+			Mode: m, WalkDims: "0D", MemAccesses: 0, BaseBoundChecks: 1,
+			GuestOSMods: true, VMMMods: true, AppCategory: "big memory",
+			PageSharing: Limited, Ballooning: Limited,
+			GuestSwapping: Limited, VMMSwapping: Limited,
+		}
+	case mmu.ModeVMMDirect:
+		return Capabilities{
+			Mode: m, WalkDims: "1D", MemAccesses: 4, BaseBoundChecks: 5,
+			VMMMods: true, AppCategory: "any",
+			PageSharing: Limited, Ballooning: Limited,
+			GuestSwapping: Unrestricted, VMMSwapping: Limited,
+		}
+	case mmu.ModeGuestDirect:
+		return Capabilities{
+			Mode: m, WalkDims: "1D", MemAccesses: 4, BaseBoundChecks: 1,
+			GuestOSMods: true, AppCategory: "big memory",
+			PageSharing: Unrestricted, Ballooning: Unrestricted,
+			GuestSwapping: Limited, VMMSwapping: Unrestricted,
+		}
+	}
+	panic("vmm: Table II covers only virtualized modes")
+}
+
+// AllCapabilities returns Table II in column order.
+func AllCapabilities() []Capabilities {
+	return []Capabilities{
+		CapabilitiesOf(mmu.ModeBaseVirtualized),
+		CapabilitiesOf(mmu.ModeDualDirect),
+		CapabilitiesOf(mmu.ModeVMMDirect),
+		CapabilitiesOf(mmu.ModeGuestDirect),
+	}
+}
+
+// WorkloadClass partitions workloads as Table III does.
+type WorkloadClass uint8
+
+// Workload classes.
+const (
+	BigMemory WorkloadClass = iota
+	Compute
+)
+
+func (w WorkloadClass) String() string {
+	if w == BigMemory {
+		return "big-memory"
+	}
+	return "compute"
+}
+
+// FragState describes which physical memories are fragmented.
+type FragState struct {
+	HostFragmented  bool
+	GuestFragmented bool
+}
+
+// Plan is one row of Table III: the mode to run now, the mode reachable
+// after remediation, and the techniques that get there.
+type Plan struct {
+	Initial    mmu.Mode
+	Final      mmu.Mode
+	Techniques []string
+}
+
+// PlanModes reproduces Table III: given the workload class and the
+// fragmentation state, which modes are used and how the system
+// transitions between them.
+func PlanModes(class WorkloadClass, frag FragState) Plan {
+	switch class {
+	case BigMemory:
+		switch {
+		case frag.HostFragmented && frag.GuestFragmented:
+			return Plan{
+				Initial:    mmu.ModeGuestDirect,
+				Final:      mmu.ModeDualDirect,
+				Techniques: []string{"self-balloon", "host memory compaction"},
+			}
+		case frag.HostFragmented:
+			return Plan{
+				Initial:    mmu.ModeGuestDirect,
+				Final:      mmu.ModeDualDirect,
+				Techniques: []string{"host memory compaction"},
+			}
+		case frag.GuestFragmented:
+			return Plan{
+				Initial:    mmu.ModeDualDirect,
+				Final:      mmu.ModeDualDirect,
+				Techniques: []string{"self-balloon"},
+			}
+		default:
+			return Plan{Initial: mmu.ModeDualDirect, Final: mmu.ModeDualDirect}
+		}
+	case Compute:
+		switch {
+		case frag.HostFragmented:
+			return Plan{
+				Initial:    mmu.ModeBaseVirtualized,
+				Final:      mmu.ModeVMMDirect,
+				Techniques: []string{"host memory compaction"},
+			}
+		case frag.GuestFragmented:
+			// Guest fragmentation does not matter to VMM Direct: the
+			// segment lives in the second dimension.
+			return Plan{Initial: mmu.ModeVMMDirect, Final: mmu.ModeVMMDirect}
+		default:
+			return Plan{Initial: mmu.ModeVMMDirect, Final: mmu.ModeVMMDirect}
+		}
+	}
+	panic("vmm: unknown workload class")
+}

@@ -1,0 +1,82 @@
+// VMM swapping (Table II): the hypervisor can reclaim host memory by
+// paging guest physical pages out behind the guest's back. A gPA
+// covered by a live VMM segment is pinned — the segment arithmetic
+// needs its host frame in place — so VMM swapping is "limited" in Dual
+// and VMM Direct modes and unrestricted otherwise.
+
+package vmm
+
+import (
+	"errors"
+	"fmt"
+
+	"vdirect/internal/addr"
+	"vdirect/internal/physmem"
+)
+
+// ErrPinnedByVMMSegment is returned when VMM swapping targets pages a
+// VMM segment covers.
+var ErrPinnedByVMMSegment = errors.New("vmm: gPA pinned by the VMM segment")
+
+// SwapOutGuestPages reclaims the host frames behind the given guest
+// physical pages. The caller must invalidate nested MMU state. Returns
+// the number of pages swapped.
+func (vm *VM) SwapOutGuestPages(gpas []uint64) (int, error) {
+	if vm.cfg.NestedPageSize != addr.Page4K {
+		return 0, ErrBadNestedSize
+	}
+	if vm.swapped == nil {
+		vm.swapped = make(map[uint64]struct{})
+	}
+	n := 0
+	for _, gpa := range gpas {
+		gpa = addr.PageBase(gpa, addr.Page4K)
+		if vm.vmmSeg.Enabled() && vm.vmmSeg.Contains(gpa) {
+			return n, fmt.Errorf("%w: gPA %#x", ErrPinnedByVMMSegment, gpa)
+		}
+		hpa, _, ok := vm.NPT.Translate(gpa)
+		if !ok {
+			continue // unbacked already
+		}
+		if err := vm.NPT.Unmap(gpa, addr.Page4K); err != nil {
+			return n, err
+		}
+		vm.unregisterBacking(hpa, addr.PageSize4K)
+		if err := vm.host.Mem.FreeFrame(physmem.AddrToFrame(hpa)); err != nil {
+			return n, err
+		}
+		vm.swapped[gpa] = struct{}{}
+		vm.contig = false
+		n++
+	}
+	return n, nil
+}
+
+// HandleNestedFault services an EPT violation: if the gPA was swapped
+// by the VMM, it is paged back in. Returns false when the fault is not
+// swap-related (a true backing hole).
+func (vm *VM) HandleNestedFault(gpa uint64) (bool, error) {
+	page := addr.PageBase(gpa, addr.Page4K)
+	if _, ok := vm.swapped[page]; !ok {
+		return false, nil
+	}
+	f, err := vm.host.Mem.AllocFrame()
+	if err != nil {
+		return false, fmt.Errorf("vmm: VMM swap-in: %w", err)
+	}
+	hpa := physmem.FrameToAddr(f)
+	if err := vm.NPT.Map(page, hpa, addr.Page4K); err != nil {
+		return false, err
+	}
+	vm.registerBacking(page, hpa, addr.PageSize4K)
+	delete(vm.swapped, page)
+	vm.swapIns++
+	return true, nil
+}
+
+// VMMSwapIns returns how many nested faults were serviced from swap.
+func (vm *VM) VMMSwapIns() uint64 { return vm.swapIns }
+
+// VMMSwappedPages returns the number of guest pages the VMM currently
+// holds on swap.
+func (vm *VM) VMMSwappedPages() int { return len(vm.swapped) }

@@ -1,0 +1,61 @@
+package vmm
+
+import (
+	"testing"
+)
+
+func TestVMMSwapRoundTrip(t *testing.T) {
+	h, vm := newHostVM(t, 64, 16, VMConfig{})
+	hostFree := h.Mem.FreeFrames()
+	gpas := []uint64{0x10000, 0x20000, 0x30000}
+	n, err := vm.SwapOutGuestPages(gpas)
+	if err != nil || n != 3 {
+		t.Fatalf("swap out: n=%d err=%v", n, err)
+	}
+	if h.Mem.FreeFrames() != hostFree+3 {
+		t.Error("host frames not reclaimed")
+	}
+	if vm.VMMSwappedPages() != 3 {
+		t.Errorf("swapped = %d", vm.VMMSwappedPages())
+	}
+	if _, _, ok := vm.NPT.Translate(0x10000); ok {
+		t.Fatal("swapped page still mapped")
+	}
+	// The nested fault handler pages it back in.
+	handled, err := vm.HandleNestedFault(0x10123)
+	if err != nil || !handled {
+		t.Fatalf("swap in: handled=%v err=%v", handled, err)
+	}
+	if _, _, ok := vm.NPT.Translate(0x10000); !ok {
+		t.Fatal("swap-in did not remap")
+	}
+	if vm.VMMSwapIns() != 1 || vm.VMMSwappedPages() != 2 {
+		t.Errorf("counters: ins=%d swapped=%d", vm.VMMSwapIns(), vm.VMMSwappedPages())
+	}
+	// A genuine hole is not swap-related.
+	handled, err = vm.HandleNestedFault(vm.GuestMem.Size() + 0x1000)
+	if err != nil || handled {
+		t.Errorf("phantom fault: handled=%v err=%v", handled, err)
+	}
+	// Re-swapping an unbacked page is a no-op, not an error.
+	if n, err := vm.SwapOutGuestPages([]uint64{0x20000}); err != nil || n != 0 {
+		t.Errorf("re-swap: n=%d err=%v", n, err)
+	}
+}
+
+func TestVMMSwapPinnedBySegment(t *testing.T) {
+	// Table II: VMM swapping is limited in VMM/Dual Direct — segment-
+	// covered gPAs are pinned.
+	_, vm := newHostVM(t, 128, 16, VMConfig{ContiguousBacking: true})
+	if _, err := vm.TryEnableVMMSegment(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.SwapOutGuestPages([]uint64{0x10000}); err == nil {
+		t.Fatal("swapped a segment-pinned page")
+	}
+	// Disable the segment (mode transition) and swapping works again.
+	vm.DisableVMMSegment()
+	if n, err := vm.SwapOutGuestPages([]uint64{0x10000}); err != nil || n != 1 {
+		t.Fatalf("post-disable swap: n=%d err=%v", n, err)
+	}
+}

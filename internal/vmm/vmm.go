@@ -1,0 +1,411 @@
+// Package vmm models the hypervisor: virtual machines with KVM-style
+// memory slots (Figure 10), nested page tables, VMM direct-segment
+// creation with boot-time contiguous reservation (§VI.A), host memory
+// compaction (§IV), the VMM side of the self-ballooning protocol
+// (§VI.C), content-based page sharing (§IX.E), shadow paging (§IX.D),
+// and the Table II/III mode capability and transition policies.
+package vmm
+
+import (
+	"errors"
+	"fmt"
+
+	"vdirect/internal/addr"
+	"vdirect/internal/pagetable"
+	"vdirect/internal/physmem"
+	"vdirect/internal/segment"
+)
+
+// Errors surfaced by VMM operations.
+var (
+	ErrHostFragmented = errors.New("vmm: host physical memory too fragmented for a VMM segment")
+	ErrNoBacking      = errors.New("vmm: guest physical range not backed")
+	ErrBadNestedSize  = errors.New("vmm: operation requires 4K nested pages")
+)
+
+// Host owns the machine's physical memory and its VMs.
+type Host struct {
+	Mem *physmem.Memory
+	vms []*VM
+	// owners maps each host frame to the (vm, gpa) backing it, so host
+	// compaction can repair nested mappings. Indexed by frame number; a
+	// nil vm means unowned (free, page-table page, or VMM-internal).
+	owners []backingRef
+}
+
+type backingRef struct {
+	vm  *VM
+	gpa uint64
+}
+
+// NewHost creates a host machine with size bytes of physical memory.
+func NewHost(size uint64) *Host {
+	mem := physmem.New(physmem.Config{Name: "host", Size: size})
+	return &Host{
+		Mem:    mem,
+		owners: make([]backingRef, mem.Frames()),
+	}
+}
+
+// VMs returns the host's virtual machines.
+func (h *Host) VMs() []*VM { return h.vms }
+
+// MemorySlot maps a contiguous guest physical range to host virtual
+// addresses of the VMM process (Figure 10). KVM keeps two large slots:
+// [0, 4GB) and [4GB, ∞).
+type MemorySlot struct {
+	GPA addr.Range
+	// HVA is the modeled host-virtual base the slot maps to; it makes
+	// the gPA→hVA→hPA chain of Figure 10 explicit.
+	HVA uint64
+}
+
+// VMConfig configures a new virtual machine.
+type VMConfig struct {
+	Name string
+	// MemorySize is the guest physical memory size.
+	MemorySize uint64
+	// IOGap carves the x86-64 I/O gap out of guest physical memory.
+	IOGap bool
+	// NestedPageSize is the page size the VMM uses for gPA→hPA
+	// mappings (the second element of configurations like 4K+2M).
+	NestedPageSize addr.PageSize
+	// ContiguousBacking requests one contiguous host physical region
+	// for the whole guest (the §VI.A boot-time reservation), the
+	// precondition for a VMM segment.
+	ContiguousBacking bool
+}
+
+// VM is one virtual machine.
+type VM struct {
+	Name     string
+	host     *Host
+	GuestMem *physmem.Memory
+	// NPT is the nested page table (gPA→hPA), allocated in host memory.
+	NPT *pagetable.Table
+	// Slots are the KVM memory slots.
+	Slots []MemorySlot
+
+	cfg VMConfig
+	// vmmSeg holds the VM's BASE_V/LIMIT_V/OFFSET_V when enabled.
+	vmmSeg segment.Registers
+	// contig records the host base when backing is one contiguous run.
+	contig   bool
+	hostBase uint64
+	// content maps a gPA page to its content hash (page-sharing model).
+	content map[uint64]uint64
+	// sharedFrames marks host frames mapped copy-on-write into this VM.
+	sharedFrames map[uint64]bool
+	cowBreaks    uint64
+	// swapped tracks gPAs whose backing the VMM paged out.
+	swapped map[uint64]struct{}
+	swapIns uint64
+}
+
+// CreateVM builds a VM and eagerly backs all usable guest physical
+// memory with host memory at the configured nested page size.
+func (h *Host) CreateVM(cfg VMConfig) (*VM, error) {
+	if cfg.MemorySize == 0 || cfg.MemorySize%addr.PageSize4K != 0 {
+		return nil, fmt.Errorf("vmm: bad memory size %#x", cfg.MemorySize)
+	}
+	vm := &VM{
+		Name:         cfg.Name,
+		host:         h,
+		GuestMem:     physmem.New(physmem.Config{Name: cfg.Name, Size: cfg.MemorySize, IOGap: cfg.IOGap}),
+		cfg:          cfg,
+		content:      make(map[uint64]uint64),
+		sharedFrames: make(map[uint64]bool),
+	}
+	npt, err := pagetable.New(h.Mem)
+	if err != nil {
+		return nil, fmt.Errorf("vmm: creating nested page table: %w", err)
+	}
+	vm.NPT = npt
+	if err := vm.backAll(); err != nil {
+		return nil, err
+	}
+	vm.buildSlots()
+	h.vms = append(h.vms, vm)
+	return vm, nil
+}
+
+// buildSlots creates the two KVM slots around the 4GB boundary.
+func (vm *VM) buildSlots() {
+	size := vm.GuestMem.Size()
+	const hvaBase = 0x7f00_0000_0000 // typical mmap region of the VMM process
+	if size <= addr.IOGapEnd {
+		vm.Slots = []MemorySlot{{GPA: addr.Range{Start: 0, Size: size}, HVA: hvaBase}}
+		return
+	}
+	vm.Slots = []MemorySlot{
+		{GPA: addr.Range{Start: 0, Size: addr.IOGapEnd}, HVA: hvaBase},
+		{GPA: addr.Range{Start: addr.IOGapEnd, Size: size - addr.IOGapEnd}, HVA: hvaBase + addr.IOGapEnd},
+	}
+}
+
+// HVAForGPA resolves a guest physical address to the VMM process's
+// host virtual address through the memory slots (Figure 10).
+func (vm *VM) HVAForGPA(gpa uint64) (uint64, bool) {
+	for _, s := range vm.Slots {
+		if s.GPA.Contains(gpa) {
+			return s.HVA + (gpa - s.GPA.Start), true
+		}
+	}
+	return 0, false
+}
+
+// backAll eagerly maps every usable guest frame to host memory.
+func (vm *VM) backAll() error {
+	if vm.cfg.ContiguousBacking {
+		return vm.backContiguous()
+	}
+	return vm.backChunked()
+}
+
+// backContiguous reserves one host run covering the full guest span
+// (including a shadow of the I/O gap, so offsets stay uniform) and maps
+// usable pages.
+func (vm *VM) backContiguous() error {
+	frames := vm.GuestMem.Size() >> addr.PageShift4K
+	alignFrames := vm.cfg.NestedPageSize.Bytes() >> addr.PageShift4K
+	first, err := vm.host.Mem.AllocContiguous(frames, alignFrames)
+	if err != nil {
+		return ErrHostFragmented
+	}
+	vm.hostBase = physmem.FrameToAddr(first)
+	vm.contig = true
+	return vm.mapBacking(0, vm.GuestMem.Size(), func(gpa uint64) uint64 {
+		return vm.hostBase + gpa
+	})
+}
+
+// backChunked backs guest memory with independently allocated host
+// chunks of the nested page size.
+func (vm *VM) backChunked() error {
+	chunk := vm.cfg.NestedPageSize.Bytes()
+	chunkFrames := chunk >> addr.PageShift4K
+	for gpa := uint64(0); gpa < vm.GuestMem.Size(); gpa += chunk {
+		if vm.gapChunk(gpa, chunk) {
+			continue
+		}
+		first, err := vm.host.Mem.AllocContiguous(chunkFrames, chunkFrames)
+		if err != nil {
+			return fmt.Errorf("vmm: backing %s at gPA %#x: %w", vm.Name, gpa, err)
+		}
+		hpa := physmem.FrameToAddr(first)
+		if err := vm.NPT.Map(gpa, hpa, vm.cfg.NestedPageSize); err != nil {
+			return err
+		}
+		vm.registerBacking(gpa, hpa, chunk)
+	}
+	return nil
+}
+
+// gapChunk reports whether the chunk lies wholly inside the I/O gap.
+func (vm *VM) gapChunk(gpa, chunk uint64) bool {
+	if !vm.cfg.IOGap {
+		return false
+	}
+	return gpa >= addr.IOGapStart && gpa+chunk <= addr.IOGapEnd
+}
+
+// mapBacking installs nested mappings for [gpaStart, gpaStart+size) at
+// the configured nested page size, skipping the I/O gap, using hpaFor
+// to place each chunk.
+func (vm *VM) mapBacking(gpaStart, size uint64, hpaFor func(gpa uint64) uint64) error {
+	chunk := vm.cfg.NestedPageSize.Bytes()
+	for gpa := gpaStart; gpa < gpaStart+size; gpa += chunk {
+		if vm.gapChunk(gpa, chunk) {
+			continue
+		}
+		hpa := hpaFor(gpa)
+		if err := vm.NPT.Map(gpa, hpa, vm.cfg.NestedPageSize); err != nil {
+			return err
+		}
+		vm.registerBacking(gpa, hpa, chunk)
+	}
+	return nil
+}
+
+func (vm *VM) registerBacking(gpa, hpa, size uint64) {
+	for off := uint64(0); off < size; off += addr.PageSize4K {
+		vm.host.owners[physmem.AddrToFrame(hpa+off)] = backingRef{vm: vm, gpa: gpa + off}
+	}
+}
+
+func (vm *VM) unregisterBacking(hpa, size uint64) {
+	for off := uint64(0); off < size; off += addr.PageSize4K {
+		vm.host.owners[physmem.AddrToFrame(hpa+off)] = backingRef{}
+	}
+}
+
+// VMMSegment returns the VM's segment registers (disabled if not set).
+func (vm *VM) VMMSegment() segment.Registers { return vm.vmmSeg }
+
+// TryEnableVMMSegment programs BASE_V/LIMIT_V/OFFSET_V when the VM's
+// backing is one contiguous host run. Returns ErrHostFragmented when it
+// is not — the caller may run host compaction and retry, the Table III
+// transition.
+func (vm *VM) TryEnableVMMSegment() (segment.Registers, error) {
+	if vm.contig {
+		vm.vmmSeg = segment.NewRegisters(0, vm.hostBase, vm.GuestMem.Size())
+		return vm.vmmSeg, nil
+	}
+	// Attempt relocation into a single free run (the slow path after
+	// host compaction has created space).
+	frames := vm.GuestMem.Size() >> addr.PageShift4K
+	first, err := vm.host.Mem.AllocContiguous(frames, 1)
+	if err != nil {
+		return segment.Registers{}, ErrHostFragmented
+	}
+	newBase := physmem.FrameToAddr(first)
+	// Migrate every backed page to its linear position and release the
+	// old backing.
+	type moved struct {
+		gpa, oldHPA uint64
+		size        addr.PageSize
+	}
+	var moves []moved
+	vm.NPT.VisitLeaves(func(gpa, hpa uint64, s addr.PageSize) bool {
+		moves = append(moves, moved{gpa: gpa, oldHPA: hpa, size: s})
+		return true
+	})
+	for _, mv := range moves {
+		if err := vm.NPT.Remap(mv.gpa, newBase+mv.gpa); err != nil {
+			return segment.Registers{}, err
+		}
+		vm.unregisterBacking(mv.oldHPA, mv.size.Bytes())
+		for off := uint64(0); off < mv.size.Bytes(); off += addr.PageSize4K {
+			if err := vm.host.Mem.FreeFrame(physmem.AddrToFrame(mv.oldHPA + off)); err != nil {
+				return segment.Registers{}, err
+			}
+		}
+		vm.registerBacking(mv.gpa, newBase+mv.gpa, mv.size.Bytes())
+	}
+	vm.hostBase = newBase
+	vm.contig = true
+	vm.vmmSeg = segment.NewRegisters(0, newBase, vm.GuestMem.Size())
+	return vm.vmmSeg, nil
+}
+
+// DisableVMMSegment clears the registers (e.g. before VMM swapping).
+func (vm *VM) DisableVMMSegment() { vm.vmmSeg = segment.Disabled() }
+
+// Compact runs the host compaction daemon and repairs every affected
+// VM's nested mappings. It returns the number of frames relocated.
+// Callers must invalidate MMU nested state afterwards.
+func (h *Host) Compact() (int, error) {
+	moves := h.Mem.Compact()
+	for _, mv := range moves {
+		ref := h.owners[mv.Old]
+		if ref.vm == nil {
+			continue // page-table page or other unowned frame: its data
+			// structure holds Go pointers, not addresses, so moving the
+			// physical frame needs no repair in the model.
+		}
+		// Only 4K-backed VMs can have individual frames relocated; a
+		// frame inside a 2M/1G nested mapping moving alone would split
+		// the mapping. The compactor does not know mappings, so repair
+		// must re-point the 4K leaf.
+		if ref.vm.cfg.NestedPageSize != addr.Page4K {
+			return 0, fmt.Errorf("vmm: compaction moved frame inside a %v nested mapping",
+				ref.vm.cfg.NestedPageSize)
+		}
+		if err := ref.vm.NPT.Remap(ref.gpa, physmem.FrameToAddr(mv.New)); err != nil {
+			return 0, fmt.Errorf("vmm: repairing nested mapping after compaction: %w", err)
+		}
+		h.owners[mv.Old] = backingRef{}
+		h.owners[mv.New] = ref
+		if ref.vm.contig {
+			ref.vm.contig = false // relocation broke linearity
+		}
+	}
+	return len(moves), nil
+}
+
+// --- guestos.VMMBackend implementation (self-ballooning, §VI.C) ---
+
+// Balloon receives pinned guest frames from the balloon driver and
+// reclaims their host backing.
+func (vm *VM) Balloon(frames []uint64) error {
+	if vm.cfg.NestedPageSize != addr.Page4K {
+		return ErrBadNestedSize
+	}
+	for _, gf := range frames {
+		gpa := physmem.FrameToAddr(gf)
+		hpa, _, ok := vm.NPT.Translate(gpa)
+		if !ok {
+			return fmt.Errorf("%w: gPA %#x", ErrNoBacking, gpa)
+		}
+		if err := vm.NPT.Unmap(gpa, addr.Page4K); err != nil {
+			return err
+		}
+		vm.unregisterBacking(hpa, addr.PageSize4K)
+		if err := vm.host.Mem.FreeFrame(physmem.AddrToFrame(hpa)); err != nil {
+			return err
+		}
+		vm.contig = false
+	}
+	return nil
+}
+
+// HotplugAdd extends guest physical memory by size bytes (KVM: extends
+// the high slot) and backs it with host frames; the new gPA range is
+// contiguous even though its host backing need not be.
+func (vm *VM) HotplugAdd(size uint64) (addr.Range, error) {
+	if vm.cfg.NestedPageSize != addr.Page4K {
+		return addr.Range{}, ErrBadNestedSize
+	}
+	r, err := vm.GuestMem.Grow(size)
+	if err != nil {
+		return addr.Range{}, err
+	}
+	for gpa := r.Start; gpa < r.End(); gpa += addr.PageSize4K {
+		f, err := vm.host.Mem.AllocFrame()
+		if err != nil {
+			return addr.Range{}, fmt.Errorf("vmm: backing hotplug: %w", err)
+		}
+		hpa := physmem.FrameToAddr(f)
+		if err := vm.NPT.Map(gpa, hpa, addr.Page4K); err != nil {
+			return addr.Range{}, err
+		}
+		vm.registerBacking(gpa, hpa, addr.PageSize4K)
+	}
+	vm.buildSlots()
+	// Extend the high slot to cover the growth (§VI.C: "We extend the
+	// second KVM slot by the same amount of memory").
+	return r, nil
+}
+
+// HotplugRemove releases the host backing of an unplugged guest range.
+func (vm *VM) HotplugRemove(r addr.Range) error {
+	if vm.cfg.NestedPageSize != addr.Page4K {
+		return ErrBadNestedSize
+	}
+	for gpa := r.Start; gpa < r.End(); gpa += addr.PageSize4K {
+		hpa, _, ok := vm.NPT.Translate(gpa)
+		if !ok {
+			continue // already unbacked (e.g. I/O gap shadow)
+		}
+		if err := vm.NPT.Unmap(gpa, addr.Page4K); err != nil {
+			return err
+		}
+		vm.unregisterBacking(hpa, addr.PageSize4K)
+		if err := vm.host.Mem.FreeFrame(physmem.AddrToFrame(hpa)); err != nil {
+			return err
+		}
+		vm.contig = false
+	}
+	return nil
+}
+
+// BackedFrames returns how many host frames currently back this VM.
+func (vm *VM) BackedFrames() uint64 {
+	var n uint64
+	for _, ref := range vm.host.owners {
+		if ref.vm == vm {
+			n++
+		}
+	}
+	return n
+}

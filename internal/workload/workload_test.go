@@ -1,0 +1,281 @@
+package workload
+
+import (
+	"testing"
+
+	"vdirect/internal/addr"
+	"vdirect/internal/trace"
+)
+
+func smallCfg(seed uint64) Config {
+	return Config{Seed: seed, MemoryMB: 8, Ops: 20000}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := map[string]Class{
+		"graph500": BigMemory, "memcached": BigMemory, "npb:cg": BigMemory, "gups": BigMemory,
+		"tlbstress": BigMemory,
+		"cactusadm": Compute, "gemsfdtd": Compute, "mcf": Compute,
+		"omnetpp": Compute, "canneal": Compute, "streamcluster": Compute,
+	}
+	names := Names()
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v", names)
+	}
+	for n, class := range want {
+		if !Exists(n) {
+			t.Errorf("workload %q missing", n)
+			continue
+		}
+		w := New(n, smallCfg(1))
+		if w.Class() != class {
+			t.Errorf("%s class = %v, want %v", n, w.Class(), class)
+		}
+		if w.Name() != n {
+			t.Errorf("%s Name() = %q", n, w.Name())
+		}
+		if w.BaseCPI() <= 0 {
+			t.Errorf("%s BaseCPI = %g", n, w.BaseCPI())
+		}
+	}
+	if len(BigMemoryNames()) != 4 || len(ComputeNames()) != 6 {
+		t.Error("figure name lists wrong")
+	}
+	for _, n := range append(BigMemoryNames(), ComputeNames()...) {
+		if !Exists(n) {
+			t.Errorf("figure list references unknown workload %q", n)
+		}
+	}
+}
+
+func TestUnknownWorkloadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unknown workload")
+		}
+	}()
+	New("doom", smallCfg(1))
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, n := range Names() {
+		a := trace.Collect(New(n, smallCfg(7)), 0)
+		b := trace.Collect(New(n, smallCfg(7)), 0)
+		if a.Len() != b.Len() {
+			t.Errorf("%s: lengths differ %d vs %d", n, a.Len(), b.Len())
+			continue
+		}
+		for {
+			ea, oka := a.Next()
+			eb, okb := b.Next()
+			if oka != okb {
+				t.Errorf("%s: streams desynchronized", n)
+				break
+			}
+			if !oka {
+				break
+			}
+			if ea != eb {
+				t.Errorf("%s: events differ: %+v vs %+v", n, ea, eb)
+				break
+			}
+		}
+		c := trace.Collect(New(n, smallCfg(8)), 0)
+		if c.Len() == a.Len() {
+			// Same length is plausible; compare a prefix for difference.
+			a.Reset()
+			same := true
+			for i := 0; i < 100; i++ {
+				ea, _ := a.Next()
+				ec, ok := c.Next()
+				if !ok || ea != ec {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Errorf("%s: different seeds gave identical traces", n)
+			}
+		}
+	}
+}
+
+func TestOpsBudgetRespected(t *testing.T) {
+	for _, n := range Names() {
+		cfg := smallCfg(3)
+		w := New(n, cfg)
+		accesses := 0
+		for {
+			ev, ok := w.Next()
+			if !ok {
+				break
+			}
+			if ev.Kind == trace.Access {
+				accesses++
+			}
+		}
+		// Budget is approximate (generators may finish an inner loop)
+		// but must be within 2%.
+		if accesses < cfg.Ops || accesses > cfg.Ops+cfg.Ops/50 {
+			t.Errorf("%s: %d accesses for budget %d", n, accesses, cfg.Ops)
+		}
+	}
+}
+
+func TestAddressesWithinDeclaredRegions(t *testing.T) {
+	for _, n := range Names() {
+		w := New(n, smallCfg(5))
+		regions := w.StaticRegions()
+		// Dynamic churn allocations extend the churn arena; collect
+		// live allocs.
+		live := map[addr.Range]bool{}
+		inAny := func(va uint64) bool {
+			for _, r := range regions {
+				if r.Contains(va) {
+					return true
+				}
+			}
+			for r := range live {
+				if r.Contains(va) {
+					return true
+				}
+			}
+			return false
+		}
+		for {
+			ev, ok := w.Next()
+			if !ok {
+				break
+			}
+			switch ev.Kind {
+			case trace.Alloc:
+				live[addr.Range{Start: uint64(ev.VA), Size: ev.Size}] = true
+			case trace.Free:
+				delete(live, addr.Range{Start: uint64(ev.VA), Size: ev.Size})
+			case trace.Access:
+				if !inAny(uint64(ev.VA)) {
+					t.Errorf("%s: access %#x outside all regions", n, ev.VA)
+					return
+				}
+			}
+		}
+	}
+}
+
+func TestPrimaryRegionHoldsMostAccesses(t *testing.T) {
+	// Direct segments only pay off if the primary region captures the
+	// bulk of the traffic; the paper's F_DS is near 1 for big-memory
+	// workloads.
+	for _, n := range Names() {
+		w := New(n, smallCfg(9))
+		pr := w.PrimaryRegion()
+		if pr.Empty() {
+			t.Errorf("%s: empty primary region", n)
+			continue
+		}
+		if pr.Start != PrimaryBase {
+			t.Errorf("%s: primary region at %#x", n, pr.Start)
+		}
+		var in, total float64
+		for {
+			ev, ok := w.Next()
+			if !ok {
+				break
+			}
+			if ev.Kind != trace.Access {
+				continue
+			}
+			total++
+			if pr.Contains(uint64(ev.VA)) {
+				in++
+			}
+		}
+		if frac := in / total; frac < 0.90 {
+			t.Errorf("%s: only %.1f%% of accesses in primary region", n, frac*100)
+		}
+	}
+}
+
+func TestChurnWorkloadsEmitAllocs(t *testing.T) {
+	churny := map[string]bool{"memcached": true, "omnetpp": true, "gemsfdtd": true, "canneal": true}
+	for _, n := range Names() {
+		ops := 200000
+		if n == "gemsfdtd" {
+			ops = 600000 // its Fourier churn is rare (every ~240k accesses)
+		}
+		w := New(n, Config{Seed: 2, MemoryMB: 8, Ops: ops})
+		allocs := 0
+		for {
+			ev, ok := w.Next()
+			if !ok {
+				break
+			}
+			if ev.Kind == trace.Alloc {
+				allocs++
+			}
+		}
+		if churny[n] && allocs == 0 {
+			t.Errorf("%s: expected allocation churn, got none", n)
+		}
+		if !churny[n] && allocs > 0 {
+			t.Errorf("%s: unexpected churn (%d allocs)", n, allocs)
+		}
+	}
+}
+
+func TestLocalityOrdering(t *testing.T) {
+	// Sanity on relative locality: unique 4K pages touched per access
+	// should be highest for gups (uniform random) and much lower for
+	// streamcluster (streaming with hot centers).
+	uniqueRate := func(name string) float64 {
+		w := New(name, Config{Seed: 4, MemoryMB: 32, Ops: 50000})
+		pages := map[uint64]bool{}
+		n := 0
+		for {
+			ev, ok := w.Next()
+			if !ok {
+				break
+			}
+			if ev.Kind != trace.Access {
+				continue
+			}
+			pages[uint64(ev.VA)>>12] = true
+			n++
+		}
+		return float64(len(pages)) / float64(n)
+	}
+	gups := uniqueRate("gups")
+	stream := uniqueRate("streamcluster")
+	mcf := uniqueRate("mcf")
+	if gups <= stream {
+		t.Errorf("gups unique-page rate %.4f <= streamcluster %.4f", gups, stream)
+	}
+	if mcf <= stream {
+		t.Errorf("mcf unique-page rate %.4f <= streamcluster %.4f", mcf, stream)
+	}
+}
+
+func TestResetReplays(t *testing.T) {
+	w := New("graph500", smallCfg(6))
+	first, _ := w.Next()
+	for i := 0; i < 100; i++ {
+		w.Next()
+	}
+	w.Reset()
+	again, ok := w.Next()
+	if !ok || first != again {
+		t.Error("Reset did not rewind to the first event")
+	}
+}
+
+func TestWorkingSetMatchesConfig(t *testing.T) {
+	for _, n := range Names() {
+		w := New(n, Config{Seed: 1, MemoryMB: 16, Ops: 30000})
+		ws := w.PrimaryRegion().Size
+		// Primary region should be within [1/4, 4x] of the requested
+		// memory (layout overheads vary by workload).
+		if ws < 4<<20 || ws > 64<<20 {
+			t.Errorf("%s: primary region %d MB for 16MB config", n, ws>>20)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package vdirect
+
+import (
+	"fmt"
+	"strings"
+
+	"vdirect/internal/experiments"
+	"vdirect/internal/workload"
+)
+
+// Scale selects simulation sizing for the evaluation harness.
+type Scale = experiments.Scale
+
+// Scales: ScaleSmall for quick checks, ScaleMedium for benchmarks,
+// ScaleFull for the numbers recorded in EXPERIMENTS.md.
+const (
+	ScaleSmall  = experiments.Small
+	ScaleMedium = experiments.Medium
+	ScaleFull   = experiments.Full
+)
+
+// CellResult is one simulated workload × configuration cell.
+type CellResult = experiments.Result
+
+// FigureData bundles an experiment's rows with table renderers.
+type FigureData = experiments.Figure
+
+// Workloads returns the Table V workload names (plus the §IX.A
+// tlbstress microbenchmark).
+func Workloads() []string { return workload.Names() }
+
+// WorkloadExists reports whether name is a known workload.
+func WorkloadExists(name string) bool { return workload.Exists(name) }
+
+// RunCell simulates one workload under one configuration label (e.g.
+// "4K+2M", "DD", "4K+VD" — see ParseConfig in internal/experiments).
+func RunCell(workloadName, config string, scale Scale) (CellResult, error) {
+	spec, err := experiments.ParseConfig(config)
+	if err != nil {
+		return CellResult{}, err
+	}
+	if !workload.Exists(workloadName) {
+		return CellResult{}, fmt.Errorf("vdirect: unknown workload %q", workloadName)
+	}
+	class := workload.New(workloadName, workload.Config{MemoryMB: 1, Ops: 1}).Class()
+	spec.Workload = workloadName
+	spec.WL = scale.WLConfig(class, 1)
+	return experiments.Run(spec)
+}
+
+// Figure1 regenerates the paper's motivation figure.
+func Figure1(scale Scale) (FigureData, error) { return experiments.Figure1(scale) }
+
+// Figure11 regenerates the big-memory evaluation figure.
+func Figure11(scale Scale) (FigureData, error) { return experiments.Figure11(scale) }
+
+// Figure12 regenerates the compute-workload evaluation figure.
+func Figure12(scale Scale) (FigureData, error) { return experiments.Figure12(scale) }
+
+// Figure13 regenerates the escape-filter study (trials per point; the
+// paper uses 30).
+func Figure13(scale Scale, trials int) (string, error) {
+	points, err := experiments.Figure13(scale, trials, nil)
+	if err != nil {
+		return "", err
+	}
+	return experiments.Figure13Table(points).Render(), nil
+}
+
+// TableII renders the qualitative mode-tradeoff table.
+func TableII() string { return experiments.TableII().Render() }
+
+// TableIII renders the fragmented-system mode policy table.
+func TableIII() string { return experiments.TableIII().Render() }
+
+// Report is the full evaluation: every figure and study, rendered.
+type Report struct {
+	Sections []ReportSection
+}
+
+// ReportSection is one named block of the evaluation report.
+type ReportSection struct {
+	Name string
+	Text string
+	// CSV holds the section's data in machine-readable form, when the
+	// section is tabular.
+	CSV string
+}
+
+// String renders the whole report.
+func (r Report) String() string {
+	var b strings.Builder
+	for _, s := range r.Sections {
+		b.WriteString(s.Text)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ReproduceAll runs the complete evaluation at the given scale —
+// everything EXPERIMENTS.md records. At ScaleFull this takes several
+// minutes; fig13Trials controls the escape-filter study's cost (the
+// paper uses 30 trials per point).
+func ReproduceAll(scale Scale, fig13Trials int) (Report, error) {
+	var rep Report
+	type tabler interface {
+		Render() string
+		CSV() string
+	}
+	add := func(name string, t tabler) {
+		rep.Sections = append(rep.Sections, ReportSection{Name: name, Text: t.Render(), CSV: t.CSV()})
+	}
+
+	fig1, err := experiments.Figure1(scale)
+	if err != nil {
+		return rep, err
+	}
+	add("figure1", fig1.Grid())
+
+	fig11, err := experiments.Figure11(scale)
+	if err != nil {
+		return rep, err
+	}
+	add("figure11", fig11.Grid())
+
+	fig12, err := experiments.Figure12(scale)
+	if err != nil {
+		return rep, err
+	}
+	add("figure12", fig12.Grid())
+
+	add("sectionVIII", experiments.SectionVIII(append(fig11.Rows, fig12.Rows...)))
+
+	breakdown, err := experiments.Breakdown(scale,
+		append([]string{"tlbstress"}, workload.BigMemoryNames()...))
+	if err != nil {
+		return rep, err
+	}
+	add("breakdown", experiments.BreakdownTable(breakdown))
+
+	models, err := experiments.TableIVValidation(scale, workload.BigMemoryNames())
+	if err != nil {
+		return rep, err
+	}
+	add("tableIV", experiments.ModelTable(models))
+
+	points, err := experiments.Figure13(scale, fig13Trials, nil)
+	if err != nil {
+		return rep, err
+	}
+	add("figure13", experiments.Figure13Table(points))
+
+	shadow, err := experiments.ShadowStudy(scale,
+		append(append([]string{}, workload.BigMemoryNames()...), workload.ComputeNames()...))
+	if err != nil {
+		return rep, err
+	}
+	add("shadow", experiments.ShadowTable(shadow))
+
+	sharing, err := experiments.SharingStudy(128, 0.03, 0.01)
+	if err != nil {
+		return rep, err
+	}
+	add("sharing", experiments.SharingTable(sharing))
+
+	add("energy", experiments.EnergyTable(experiments.Energy(append(fig11.Rows, fig12.Rows...))))
+	add("tableII", experiments.TableII())
+	add("tableIII", experiments.TableIII())
+	return rep, nil
+}

@@ -1,0 +1,247 @@
+package vdirect
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewSystemAllModes(t *testing.T) {
+	for _, mode := range []Mode{Native, DirectSegment, BaseVirtualized, DualDirect, VMMDirect, GuestDirect} {
+		s, err := NewSystem(Config{Mode: mode, GuestMemory: 64 << 20})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		// Guest-segment modes report their pre-segment configuration
+		// until a primary region exists.
+		if mode == DirectSegment || mode == GuestDirect || mode == DualDirect {
+			if _, err := s.CreatePrimaryRegion(8 << 20); err != nil {
+				t.Fatalf("%v: primary region: %v", mode, err)
+			}
+		}
+		if got := s.Mode(); got != mode {
+			t.Errorf("mode = %v, want %v", got, mode)
+		}
+	}
+}
+
+func TestSystemAccessRoundTrip(t *testing.T) {
+	s, err := NewSystem(Config{Mode: BaseVirtualized, GuestMemory: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := s.Map(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hpa1, cycles, err := s.Access(base + 0x123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles == 0 {
+		t.Error("cold access charged zero cycles")
+	}
+	hpa2, cycles2, err := s.Access(base + 0x456)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles2 != 0 {
+		t.Error("L1-hit access charged cycles")
+	}
+	if hpa2-hpa1 != 0x456-0x123 {
+		t.Error("same-page accesses landed on different frames")
+	}
+	st := s.Stats()
+	if st.Accesses != 3 { // retry after the demand fault re-translates
+		t.Logf("accesses = %d (fault retry included)", st.Accesses)
+	}
+	s.ResetStats()
+	if s.Stats().Accesses != 0 {
+		t.Error("ResetStats failed")
+	}
+}
+
+func TestSystemDualDirectZeroWalks(t *testing.T) {
+	s, err := NewSystem(Config{Mode: DualDirect, GuestMemory: 128 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := s.CreatePrimaryRegion(32 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, enabled := s.GuestSegment(); !enabled {
+		t.Fatal("guest segment disabled")
+	}
+	if _, _, _, enabled := s.VMMSegment(); !enabled {
+		t.Fatal("VMM segment disabled")
+	}
+	s.ResetStats()
+	for off := uint64(0); off < 1<<20; off += 4096 {
+		if _, _, err := s.Access(base + off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.WalkMemRefs != 0 {
+		t.Errorf("Dual Direct made %d walk references", st.WalkMemRefs)
+	}
+	if st.ZeroDWalks == 0 {
+		t.Error("no 0D walks recorded")
+	}
+}
+
+func TestSystemPrimaryRegionWrongMode(t *testing.T) {
+	s, err := NewSystem(Config{Mode: BaseVirtualized, GuestMemory: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreatePrimaryRegion(8 << 20); err != ErrNoSegment {
+		t.Errorf("err = %v, want ErrNoSegment", err)
+	}
+}
+
+func TestSystemMapEagerAndFree(t *testing.T) {
+	s, err := NewSystem(Config{Mode: Native, GuestMemory: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := uint64(0x40000000)
+	if err := s.MapEager(base, 4<<20, Page2M); err != nil {
+		t.Fatal(err)
+	}
+	if _, cycles, err := s.Access(base); err != nil || cycles == 0 {
+		t.Fatalf("eager access: cycles=%d err=%v", cycles, err)
+	}
+	// 2M mappings cannot be freed page-wise in this façade.
+	if err := s.Free(base, 4096); err == nil {
+		t.Error("freeing inside a 2M mapping should fail")
+	}
+	// 4K region frees fine.
+	b2, _ := s.Map(64 << 10)
+	if _, _, err := s.Access(b2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Free(b2, 64<<10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystemSelfBalloonFlow(t *testing.T) {
+	s, err := NewSystem(Config{Mode: GuestDirect, GuestMemory: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := s.FragmentGuestMemory(0.6, 42); n == 0 {
+		t.Fatal("fragmentation injected nothing")
+	}
+	if _, err := s.CreatePrimaryRegion(16 << 20); err == nil {
+		t.Fatal("primary region backed despite fragmentation")
+	}
+	if _, err := s.SelfBalloon(16 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RetryPrimaryRegion(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Mode() != GuestDirect {
+		t.Errorf("mode = %v after self-balloon", s.Mode())
+	}
+}
+
+func TestSystemEscapeBadPages(t *testing.T) {
+	s, err := NewSystem(Config{Mode: DualDirect, GuestMemory: 128 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := s.CreatePrimaryRegion(16 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gBase, _, gOff, _ := s.GuestSegment()
+	_ = gBase
+	badGPA := base + gOff + 0x5000 // gPA of an in-segment page
+	if err := s.EscapeBadPages([]uint64{badGPA}); err != nil {
+		t.Fatal(err)
+	}
+	// Accesses must still succeed (through the escape path).
+	if _, _, err := s.Access(base + 0x5123); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().EscapeTaken == 0 {
+		t.Error("escape filter never took")
+	}
+}
+
+func TestRunCell(t *testing.T) {
+	res, err := RunCell("gups", "4K+4K", ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overhead <= 0 || res.Accesses == 0 {
+		t.Errorf("result = %+v", res)
+	}
+	if _, err := RunCell("gups", "bogus", ScaleSmall); err == nil {
+		t.Error("bogus config accepted")
+	}
+	if _, err := RunCell("bogus", "4K", ScaleSmall); err == nil {
+		t.Error("bogus workload accepted")
+	}
+}
+
+func TestWorkloadsList(t *testing.T) {
+	names := Workloads()
+	if len(names) != 11 {
+		t.Errorf("workloads = %v", names)
+	}
+	if !WorkloadExists("graph500") || WorkloadExists("doom") {
+		t.Error("WorkloadExists wrong")
+	}
+}
+
+func TestTables(t *testing.T) {
+	if !strings.Contains(TableII(), "Dual Direct") {
+		t.Error("Table II content")
+	}
+	if !strings.Contains(TableIII(), "compaction") {
+		t.Error("Table III content")
+	}
+}
+
+func TestReproduceFigure13Small(t *testing.T) {
+	out, err := Figure13(ScaleSmall, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "normalized") {
+		t.Errorf("figure 13 output:\n%s", out)
+	}
+}
+
+func TestReproduceAllSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole evaluation at small scale")
+	}
+	rep, err := ReproduceAll(ScaleSmall, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"figure1", "figure11", "figure12", "sectionVIII", "breakdown",
+		"tableIV", "figure13", "shadow", "sharing", "energy", "tableII", "tableIII"}
+	if len(rep.Sections) != len(want) {
+		t.Fatalf("sections = %d, want %d", len(rep.Sections), len(want))
+	}
+	for i, name := range want {
+		if rep.Sections[i].Name != name {
+			t.Errorf("section %d = %q, want %q", i, rep.Sections[i].Name, name)
+		}
+		if rep.Sections[i].Text == "" {
+			t.Errorf("section %q empty", name)
+		}
+		if rep.Sections[i].CSV == "" {
+			t.Errorf("section %q has no CSV", name)
+		}
+	}
+	if len(rep.String()) < 1000 {
+		t.Error("report suspiciously short")
+	}
+}
