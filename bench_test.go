@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"vdirect/internal/experiments"
+	"vdirect/internal/sched"
 	"vdirect/internal/workload"
 )
 
@@ -71,6 +72,24 @@ func BenchmarkTableI_Translate(b *testing.B) {
 				b.ReportMetric(float64(st.WalkCycles)/float64(st.Accesses), "cyc/access")
 			}
 		})
+	}
+}
+
+// BenchmarkRunGridSerial and BenchmarkRunGridParallel measure the
+// experiment scheduler's scaling on a figure-sized grid: identical
+// cells, Parallelism 1 vs all cores. Their ratio is the core-count
+// speedup EXPERIMENTS.md records (≈1× on single-core hosts).
+func BenchmarkRunGridSerial(b *testing.B)   { benchRunGrid(b, 1) }
+func BenchmarkRunGridParallel(b *testing.B) { benchRunGrid(b, 0) }
+
+func benchRunGrid(b *testing.B, parallelism int) {
+	wls := workload.BigMemoryNames()
+	configs := []string{"4K", "4K+4K", "DD", "4K+VD", "4K+GD"}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunGridOpts(
+			sched.Config{Parallelism: parallelism}, wls, configs, benchScale, 1); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -2,10 +2,16 @@
 // and table of §VIII and §IX, printed as text tables (and optionally
 // written to files).
 //
+// Simulation cells fan out across cores (-j, default GOMAXPROCS) with
+// progress on stderr; output is byte-identical at any -j because every
+// cell owns a private simulation stack, per-cell RNG seeds depend only
+// on the cell's spec, and results are emitted in a fixed order.
+//
 // Usage:
 //
-//	paperbench                       # everything at medium scale
+//	paperbench                       # everything at medium scale, all cores
 //	paperbench -scale full           # the EXPERIMENTS.md setting
+//	paperbench -j 1                  # serial run (same bytes, slower)
 //	paperbench -only figure11,shadow # a subset
 //	paperbench -out results/         # also write one file per section
 package main
@@ -27,6 +33,8 @@ func main() {
 		only      = flag.String("only", "", "comma-separated section subset (figure1,figure11,figure12,figure13,sectionVIII,breakdown,tableIV,shadow,sharing,energy,tableII,tableIII)")
 		outDir    = flag.String("out", "", "directory to write per-section files into")
 		trials    = flag.Int("fig13-trials", 30, "trials per escape-filter point")
+		jobs      = flag.Int("j", 0, "max concurrently simulated cells (0 = GOMAXPROCS); output is identical at any -j")
+		quiet     = flag.Bool("quiet", false, "suppress the cells-done progress line on stderr")
 	)
 	flag.Parse()
 
@@ -49,8 +57,17 @@ func main() {
 		}
 	}
 
+	opts := vdirect.Options{Parallelism: *jobs, Fig13Trials: *trials}
+	if !*quiet {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rsimulating: %d/%d cells", done, total)
+		}
+	}
 	start := time.Now()
-	report, err := vdirect.ReproduceAll(scale, *trials)
+	report, err := vdirect.ReproduceAllOpts(scale, opts)
+	if !*quiet {
+		fmt.Fprintln(os.Stderr)
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -1,10 +1,17 @@
-// Command vmemsim runs one workload under one translation configuration
-// and prints the translation statistics — the simulator's equivalent of
-// a single perf-instrumented run from the paper's methodology (§VII).
+// Command vmemsim runs workloads under translation configurations and
+// prints the translation statistics — the simulator's equivalent of
+// perf-instrumented runs from the paper's methodology (§VII).
+//
+// Both -workload and -config accept comma-separated lists; the full
+// workload × config grid is simulated, fanned across cores (-j, default
+// GOMAXPROCS). Output order and every counter are identical at any -j:
+// each cell owns a private simulation stack and derives its RNG seeds
+// from the cell spec alone.
 //
 // Usage:
 //
 //	vmemsim -workload graph500 -config 4K+VD -scale medium
+//	vmemsim -workload graph500,gups -config 4K,4K+4K,DD -j 4
 //	vmemsim -list
 package main
 
@@ -12,15 +19,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"vdirect"
 )
 
 func main() {
 	var (
-		workloadName = flag.String("workload", "gups", "workload to run (see -list)")
-		config       = flag.String("config", "4K+4K", `configuration label: 4K|2M|1G|THP|DS|A+B|A+VD|A+GD|DD`)
+		workloadName = flag.String("workload", "gups", "workload(s) to run, comma-separated (see -list)")
+		config       = flag.String("config", "4K+4K", `configuration label(s), comma-separated: 4K|2M|1G|THP|DS|A+B|A+VD|A+GD|DD`)
 		scaleName    = flag.String("scale", "medium", "simulation scale: small|medium|full")
+		jobs         = flag.Int("j", 0, "max concurrently simulated cells (0 = GOMAXPROCS); output is identical at any -j")
 		list         = flag.Bool("list", false, "list workloads and exit")
 	)
 	flag.Parse()
@@ -35,13 +44,41 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := vdirect.RunCell(*workloadName, *config, scale)
+	workloads := splitList(*workloadName)
+	configs := splitList(*config)
+	if len(workloads) == 0 {
+		fatal(fmt.Errorf("-workload list is empty (see -list)"))
+	}
+	if len(configs) == 0 {
+		fatal(fmt.Errorf("-config list is empty"))
+	}
+	rows, err := vdirect.RunCells(workloads, configs, scale, *jobs)
 	if err != nil {
 		fatal(err)
 	}
+	for i, row := range rows {
+		if i > 0 {
+			fmt.Println()
+		}
+		printCell(row)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+func printCell(row vdirect.FigureRow) {
+	res := row.Result
 	st := res.Stats
-	fmt.Printf("workload            %s\n", *workloadName)
-	fmt.Printf("configuration       %s (%v)\n", *config, res.Spec.Mode)
+	fmt.Printf("workload            %s\n", row.Workload)
+	fmt.Printf("configuration       %s (%v)\n", row.Config, res.Spec.Mode)
 	fmt.Printf("measured accesses   %d\n", res.Accesses)
 	fmt.Printf("translation overhead %.2f%%\n", res.Overhead*100)
 	fmt.Printf("walk cycles         %d\n", res.WalkCycles)

@@ -5,6 +5,7 @@ package experiments
 import (
 	"fmt"
 
+	"vdirect/internal/sched"
 	"vdirect/internal/stats"
 	"vdirect/internal/workload"
 )
@@ -59,17 +60,23 @@ func (f Figure) Grid() *stats.Table {
 			wls = append(wls, r.Workload)
 		}
 	}
+	// One map lookup per cell instead of a scan over all rows; the
+	// first row for a (workload, config) pair wins, as the scan did.
+	overheads := make(map[[2]string]float64, len(f.Rows))
+	for _, r := range f.Rows {
+		key := [2]string{r.Workload, r.Config}
+		if _, ok := overheads[key]; !ok {
+			overheads[key] = r.Overhead
+		}
+	}
 	cols := append([]string{"workload"}, configs...)
 	t := stats.NewTable(fmt.Sprintf("%s — %s (overhead %%)", f.ID, f.Title), cols...)
 	for _, w := range wls {
 		row := []string{w}
 		for _, c := range configs {
 			cell := "-"
-			for _, r := range f.Rows {
-				if r.Workload == w && r.Config == c {
-					cell = fmt.Sprintf("%.1f", r.Overhead*100)
-					break
-				}
+			if o, ok := overheads[[2]string{w, c}]; ok {
+				cell = fmt.Sprintf("%.1f", o*100)
 			}
 			row = append(row, cell)
 		}
@@ -78,47 +85,70 @@ func (f Figure) Grid() *stats.Table {
 	return t
 }
 
-// RunGrid simulates every workload × config cell.
+// RunGrid simulates every workload × config cell with the default
+// scheduler configuration (all cores).
 func RunGrid(workloads, configs []string, scale Scale, seed uint64) ([]Row, error) {
-	var rows []Row
+	return RunGridOpts(sched.Config{}, workloads, configs, scale, seed)
+}
+
+// RunGridOpts simulates every workload × config cell, fanning cells
+// across the scheduler's worker pool. Each cell builds a fully private
+// stack and derives its seeds from (workload, scale, seed) alone, so
+// rows come back identical — same order, same counters — at any
+// parallelism.
+func RunGridOpts(cfg sched.Config, workloads, configs []string, scale Scale, seed uint64) ([]Row, error) {
+	type cell struct{ wl, label string }
+	cells := make([]cell, 0, len(workloads)*len(configs))
 	for _, wl := range workloads {
-		class := workload.New(wl, workload.Config{MemoryMB: 1, Ops: 1}).Class()
 		for _, label := range configs {
-			spec, err := ParseConfig(label)
-			if err != nil {
-				return nil, err
-			}
-			spec.Workload = wl
-			spec.WL = scale.WLConfig(class, seed)
-			res, err := Run(spec)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s/%s: %w", wl, label, err)
-			}
-			rows = append(rows, Row{Workload: wl, Config: label, Overhead: res.Overhead, Result: res})
+			cells = append(cells, cell{wl, label})
 		}
 	}
-	return rows, nil
+	return sched.Run(cfg, len(cells), func(i int) (Row, error) {
+		wl, label := cells[i].wl, cells[i].label
+		spec, err := ParseConfig(label)
+		if err != nil {
+			return Row{}, err
+		}
+		class := workload.New(wl, workload.Config{MemoryMB: 1, Ops: 1}).Class()
+		spec.Workload = wl
+		spec.WL = scale.WLConfig(class, seed)
+		res, err := Run(spec)
+		if err != nil {
+			return Row{}, fmt.Errorf("experiments: %s/%s: %w", wl, label, err)
+		}
+		return Row{Workload: wl, Config: label, Overhead: res.Overhead, Result: res}, nil
+	})
 }
 
 // Figure1 regenerates the motivation preview: graph500, memcached and
 // GUPS under native 4K, three virtualized paging configurations, and
 // the proposed Dual Direct and VMM Direct modes.
-func Figure1(scale Scale) (Figure, error) {
-	rows, err := RunGrid([]string{"graph500", "memcached", "gups"}, Figure1Configs(), scale, 1)
+func Figure1(scale Scale) (Figure, error) { return Figure1Opts(sched.Config{}, scale) }
+
+// Figure1Opts is Figure1 under an explicit scheduler configuration.
+func Figure1Opts(cfg sched.Config, scale Scale) (Figure, error) {
+	rows, err := RunGridOpts(cfg, []string{"graph500", "memcached", "gups"}, Figure1Configs(), scale, 1)
 	return Figure{ID: "Figure 1", Title: "virtual memory overheads preview", Rows: rows}, err
 }
 
 // Figure11 regenerates the big-memory evaluation: four workloads under
 // four native and nine virtualized configurations.
-func Figure11(scale Scale) (Figure, error) {
-	rows, err := RunGrid(workload.BigMemoryNames(), Figure11Configs(), scale, 1)
+func Figure11(scale Scale) (Figure, error) { return Figure11Opts(sched.Config{}, scale) }
+
+// Figure11Opts is Figure11 under an explicit scheduler configuration.
+func Figure11Opts(cfg sched.Config, scale Scale) (Figure, error) {
+	rows, err := RunGridOpts(cfg, workload.BigMemoryNames(), Figure11Configs(), scale, 1)
 	return Figure{ID: "Figure 11", Title: "big-memory workload overheads", Rows: rows}, err
 }
 
 // Figure12 regenerates the compute-workload evaluation with THP
 // configurations.
-func Figure12(scale Scale) (Figure, error) {
-	rows, err := RunGrid(workload.ComputeNames(), Figure12Configs(), scale, 1)
+func Figure12(scale Scale) (Figure, error) { return Figure12Opts(sched.Config{}, scale) }
+
+// Figure12Opts is Figure12 under an explicit scheduler configuration.
+func Figure12Opts(cfg sched.Config, scale Scale) (Figure, error) {
+	rows, err := RunGridOpts(cfg, workload.ComputeNames(), Figure12Configs(), scale, 1)
 	return Figure{ID: "Figure 12", Title: "compute workload overheads", Rows: rows}, err
 }
 
@@ -135,36 +165,72 @@ type Fig13Point struct {
 // `trials` different random locations (the paper uses 30), and reports
 // execution time normalized to Dual Direct with no bad pages.
 func Figure13(scale Scale, trials int, badCounts []int) ([]Fig13Point, error) {
+	return Figure13Opts(sched.Config{}, scale, trials, badCounts)
+}
+
+// Figure13Opts is Figure13 under an explicit scheduler configuration.
+// Every trial is an independent cell — the clean baseline and all
+// trials of all workloads run concurrently — and per-trial bad-page
+// seeds are derived from the trial index exactly as the serial loop
+// derived them, so the summary statistics are unchanged.
+func Figure13Opts(cfg sched.Config, scale Scale, trials int, badCounts []int) ([]Fig13Point, error) {
 	if trials <= 0 {
 		trials = 30
 	}
 	if len(badCounts) == 0 {
 		badCounts = []int{1, 2, 4, 8, 16}
 	}
-	var points []Fig13Point
-	for _, wl := range workload.BigMemoryNames() {
-		base, err := ParseConfig("DD")
-		if err != nil {
-			return nil, err
+	wls := workload.BigMemoryNames()
+	type cell struct {
+		wl    string
+		bad   int // 0 is the clean baseline
+		trial int
+	}
+	cells := make([]cell, 0, len(wls)*(1+len(badCounts)*trials))
+	for _, wl := range wls {
+		cells = append(cells, cell{wl: wl})
+		for _, n := range badCounts {
+			for trial := 0; trial < trials; trial++ {
+				cells = append(cells, cell{wl: wl, bad: n, trial: trial})
+			}
 		}
-		base.Workload = wl
-		base.WL = scale.WLConfig(workload.BigMemory, 1)
-		clean, err := Run(base)
+	}
+	runs, err := sched.Run(cfg, len(cells), func(i int) (Result, error) {
+		c := cells[i]
+		spec, err := ParseConfig("DD")
 		if err != nil {
-			return nil, fmt.Errorf("experiments: clean DD for %s: %w", wl, err)
+			return Result{}, err
 		}
-		cleanT := clean.ExecutionCycles()
+		spec.Workload = c.wl
+		spec.WL = scale.WLConfig(workload.BigMemory, 1)
+		if c.bad > 0 {
+			spec.BadPages = c.bad
+			spec.BadPageSeed = uint64(c.trial + 1)
+		}
+		res, err := Run(spec)
+		if err != nil {
+			if c.bad == 0 {
+				return Result{}, fmt.Errorf("experiments: clean DD for %s: %w", c.wl, err)
+			}
+			return Result{}, fmt.Errorf("experiments: %s with %d bad pages: %w", c.wl, c.bad, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Aggregate in cell order: per workload, the clean baseline then
+	// badCounts × trials.
+	points := make([]Fig13Point, 0, len(wls)*len(badCounts))
+	i := 0
+	for _, wl := range wls {
+		cleanT := runs[i].ExecutionCycles()
+		i++
 		for _, n := range badCounts {
 			samples := make([]float64, 0, trials)
 			for trial := 0; trial < trials; trial++ {
-				spec := base
-				spec.BadPages = n
-				spec.BadPageSeed = uint64(trial + 1)
-				res, err := Run(spec)
-				if err != nil {
-					return nil, fmt.Errorf("experiments: %s with %d bad pages: %w", wl, n, err)
-				}
-				samples = append(samples, res.ExecutionCycles()/cleanT)
+				samples = append(samples, runs[i].ExecutionCycles()/cleanT)
+				i++
 			}
 			points = append(points, Fig13Point{
 				Workload:   wl,

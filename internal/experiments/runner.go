@@ -187,11 +187,19 @@ func injectBadPages(spec Spec, e *env) error {
 }
 
 // replay runs the trace through the MMU, servicing faults like the OS
-// would, with statistics reset at the warmup boundary.
+// would, with statistics reset at the warmup boundary. The warmup point
+// comes from the workload's analytic access count, so the trace is
+// traversed exactly once.
 func replay(spec Spec, e *env) (Result, error) {
-	total := countAccesses(e.w)
+	total := e.w.AccessCount()
 	warmupAt := uint64(float64(total) * spec.WarmupFrac)
 	e.w.Reset()
+	if warmupAt == 0 {
+		// A warmup fraction that rounds to zero accesses measures the
+		// whole trace; the seen == warmupAt reset below can never fire
+		// (seen starts at 1), so reset up front.
+		e.m.ResetStats()
+	}
 
 	var seen, measured uint64
 	for {
@@ -253,19 +261,4 @@ func translate(e *env, va uint64) error {
 		}
 	}
 	return fmt.Errorf("experiments: access at %#x still faulting after service", va)
-}
-
-// countAccesses sizes the trace so the warmup boundary can be placed.
-func countAccesses(w workload.Workload) uint64 {
-	var n uint64
-	for {
-		ev, ok := w.Next()
-		if !ok {
-			break
-		}
-		if ev.Kind == trace.Access {
-			n++
-		}
-	}
-	return n
 }

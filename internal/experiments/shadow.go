@@ -13,6 +13,7 @@ import (
 	"vdirect/internal/addr"
 	"vdirect/internal/guestos"
 	"vdirect/internal/mmu"
+	"vdirect/internal/sched"
 	"vdirect/internal/stats"
 	"vdirect/internal/trace"
 	"vdirect/internal/vmm"
@@ -32,32 +33,49 @@ type ShadowResult struct {
 
 // ShadowStudy runs the §IX.D comparison for the given workloads.
 func ShadowStudy(scale Scale, workloads []string) ([]ShadowResult, error) {
-	var out []ShadowResult
-	for _, wl := range workloads {
-		class := workload.New(wl, workload.Config{MemoryMB: 1, Ops: 1}).Class()
-		wlCfg := scale.WLConfig(class, 1)
+	return ShadowStudyOpts(sched.Config{}, scale, workloads)
+}
 
-		run := func(cfg string) (Result, error) {
-			spec, err := ParseConfig(cfg)
-			if err != nil {
-				return Result{}, err
-			}
-			spec.Workload = wl
-			spec.WL = wlCfg
-			return Run(spec)
+// ShadowStudyOpts is ShadowStudy under an explicit scheduler
+// configuration. The native, VMM Direct and shadow runs of each
+// workload are three independent cells.
+func ShadowStudyOpts(cfg sched.Config, scale Scale, workloads []string) ([]ShadowResult, error) {
+	// outcome carries whichever of the two run types a cell performed.
+	type outcome struct {
+		res    Result
+		shadow shadowOutcome
+	}
+	type cell struct {
+		wl    string
+		label string // "4K", "4K+VD", or "" for the shadow run
+	}
+	var cells []cell
+	for _, wl := range workloads {
+		cells = append(cells, cell{wl, "4K"}, cell{wl, "4K+VD"}, cell{wl, ""})
+	}
+	runs, err := sched.Run(cfg, len(cells), func(i int) (outcome, error) {
+		c := cells[i]
+		class := workload.New(c.wl, workload.Config{MemoryMB: 1, Ops: 1}).Class()
+		wlCfg := scale.WLConfig(class, 1)
+		if c.label == "" {
+			sh, err := runShadow(c.wl, wlCfg)
+			return outcome{shadow: sh}, err
 		}
-		nat, err := run("4K")
+		spec, err := ParseConfig(c.label)
 		if err != nil {
-			return nil, err
+			return outcome{}, err
 		}
-		vd, err := run("4K+VD")
-		if err != nil {
-			return nil, err
-		}
-		sh, err := runShadow(wl, wlCfg)
-		if err != nil {
-			return nil, err
-		}
+		spec.Workload = c.wl
+		spec.WL = wlCfg
+		res, err := Run(spec)
+		return outcome{res: res}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ShadowResult, 0, len(workloads))
+	for i, wl := range workloads {
+		nat, vd, sh := runs[3*i].res, runs[3*i+1].res, runs[3*i+2].shadow
 		tn := nat.ExecutionCycles()
 		out = append(out, ShadowResult{
 			Workload:          wl,
@@ -139,11 +157,18 @@ func runShadow(wl string, wlCfg workload.Config) (shadowOutcome, error) {
 		return shadowOutcome{}, syncErr
 	}
 
-	total := countAccesses(w)
+	total := w.AccessCount()
 	warmupAt := uint64(float64(total) * 0.2)
 	w.Reset()
 
 	var seen, measured, exitsAtWarmup uint64
+	if warmupAt == 0 {
+		// Zero warmup accesses: measure everything. The in-loop warmup
+		// reset can never fire, so take the startup-cost snapshot here
+		// (the pre-sync exits above are excluded either way).
+		m.ResetStats()
+		exitsAtWarmup, _ = sh.Exits()
+	}
 	for {
 		ev, ok := w.Next()
 		if !ok {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"vdirect/internal/perfmodel"
+	"vdirect/internal/sched"
 	"vdirect/internal/stats"
 	"vdirect/internal/vmm"
 	"vdirect/internal/workload"
@@ -20,13 +21,18 @@ import (
 func SectionVIII(rows []Row) *stats.Table {
 	t := stats.NewTable("Section VIII — cost of virtualization",
 		"workload", "4K", "4K+4K", "virt/native", "2M", "2M+2M", "1G", "1G+1G")
-	get := func(wl, cfg string) (float64, bool) {
-		for _, r := range rows {
-			if r.Workload == wl && r.Config == cfg {
-				return r.Overhead, true
-			}
+	// One map over the rows instead of a scan per cell; the first row
+	// for a (workload, config) pair wins, as the scan did.
+	overheads := make(map[[2]string]float64, len(rows))
+	for _, r := range rows {
+		key := [2]string{r.Workload, r.Config}
+		if _, ok := overheads[key]; !ok {
+			overheads[key] = r.Overhead
 		}
-		return 0, false
+	}
+	get := func(wl, cfg string) (float64, bool) {
+		v, ok := overheads[[2]string{wl, cfg}]
+		return v, ok
 	}
 	var ratios []float64
 	seen := map[string]bool{}
@@ -83,25 +89,42 @@ type BreakdownRow struct {
 	DDL2MissReduction float64
 }
 
+// modeConfigs are the five configurations the §IX.A breakdown and the
+// Table IV validation both measure per workload.
+var modeConfigs = []string{"4K", "4K+4K", "4K+VD", "4K+GD", "DD"}
+
+// runModeGrid simulates modeConfigs for every workload through the
+// scheduler and returns one config→Result map per workload.
+func runModeGrid(cfg sched.Config, scale Scale, workloads []string) ([]map[string]Result, error) {
+	rows, err := RunGridOpts(cfg, workloads, modeConfigs, scale, 1)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]map[string]Result, len(workloads))
+	for i := range workloads {
+		results := make(map[string]Result, len(modeConfigs))
+		for _, r := range rows[i*len(modeConfigs) : (i+1)*len(modeConfigs)] {
+			results[r.Config] = r.Result
+		}
+		out[i] = results
+	}
+	return out, nil
+}
+
 // Breakdown reproduces the §IX.A analysis for the given workloads.
 func Breakdown(scale Scale, workloads []string) ([]BreakdownRow, error) {
+	return BreakdownOpts(sched.Config{}, scale, workloads)
+}
+
+// BreakdownOpts is Breakdown under an explicit scheduler configuration.
+func BreakdownOpts(cfg sched.Config, scale Scale, workloads []string) ([]BreakdownRow, error) {
+	grids, err := runModeGrid(cfg, scale, workloads)
+	if err != nil {
+		return nil, err
+	}
 	var out []BreakdownRow
-	for _, wl := range workloads {
-		class := workload.New(wl, workload.Config{MemoryMB: 1, Ops: 1}).Class()
-		results := map[string]Result{}
-		for _, cfg := range []string{"4K", "4K+4K", "4K+VD", "4K+GD", "DD"} {
-			spec, err := ParseConfig(cfg)
-			if err != nil {
-				return nil, err
-			}
-			spec.Workload = wl
-			spec.WL = scale.WLConfig(class, 1)
-			res, err := Run(spec)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: breakdown %s/%s: %w", wl, cfg, err)
-			}
-			results[cfg] = res
-		}
+	for i, wl := range workloads {
+		results := grids[i]
 		nat, virt := results["4K"], results["4K+4K"]
 		vd, gd, dd := results["4K+VD"], results["4K+GD"], results["DD"]
 		perMiss := func(r Result) float64 {
@@ -166,38 +189,21 @@ type ModelRow struct {
 // simulated mode cycles. The residual quantifies what the paper's model
 // leaves out — chiefly TLB-miss inflation, which it acknowledges.
 func TableIVValidation(scale Scale, workloads []string) ([]ModelRow, error) {
+	return TableIVValidationOpts(sched.Config{}, scale, workloads)
+}
+
+// TableIVValidationOpts is TableIVValidation under an explicit
+// scheduler configuration.
+func TableIVValidationOpts(cfg sched.Config, scale Scale, workloads []string) ([]ModelRow, error) {
+	grids, err := runModeGrid(cfg, scale, workloads)
+	if err != nil {
+		return nil, err
+	}
 	var out []ModelRow
-	for _, wl := range workloads {
-		class := workload.New(wl, workload.Config{MemoryMB: 1, Ops: 1}).Class()
-		run := func(cfg string) (Result, error) {
-			spec, err := ParseConfig(cfg)
-			if err != nil {
-				return Result{}, err
-			}
-			spec.Workload = wl
-			spec.WL = scale.WLConfig(class, 1)
-			return Run(spec)
-		}
-		nat, err := run("4K")
-		if err != nil {
-			return nil, err
-		}
-		base, err := run("4K+4K")
-		if err != nil {
-			return nil, err
-		}
-		vd, err := run("4K+VD")
-		if err != nil {
-			return nil, err
-		}
-		gd, err := run("4K+GD")
-		if err != nil {
-			return nil, err
-		}
-		dd, err := run("DD")
-		if err != nil {
-			return nil, err
-		}
+	for i, wl := range workloads {
+		results := grids[i]
+		nat, base := results["4K"], results["4K+4K"]
+		vd, gd, dd := results["4K+VD"], results["4K+GD"], results["DD"]
 		frac := func(part uint64, r Result) float64 {
 			total := r.Stats.MissBoth + r.Stats.MissVMMOnly + r.Stats.MissGuestOnly + r.Stats.MissNeither
 			if total == 0 {
@@ -266,45 +272,55 @@ type SharingResult struct {
 // paper observed ("the bulk of memory is for data structures unique to
 // the workload").
 func SharingStudy(vmMB uint64, osFrac, zeroFrac float64) ([]SharingResult, error) {
+	return SharingStudyOpts(sched.Config{}, vmMB, osFrac, zeroFrac)
+}
+
+// SharingStudyOpts is SharingStudy under an explicit scheduler
+// configuration; each VM pair is one independent cell (its own host).
+func SharingStudyOpts(cfg sched.Config, vmMB uint64, osFrac, zeroFrac float64) ([]SharingResult, error) {
 	wls := workload.BigMemoryNames()
-	var out []SharingResult
+	type pair struct{ i, j int }
+	var pairs []pair
 	for i := 0; i < len(wls); i++ {
 		for j := i; j < len(wls); j++ {
-			host := vmm.NewHost(vmMB * 3 << 20)
-			vmA, err := host.CreateVM(vmm.VMConfig{Name: wls[i], MemorySize: vmMB << 20, NestedPageSize: 0})
-			if err != nil {
-				return nil, err
-			}
-			vmB, err := host.CreateVM(vmm.VMConfig{Name: wls[j], MemorySize: vmMB << 20, NestedPageSize: 0})
-			if err != nil {
-				return nil, err
-			}
-			pages := (vmMB << 20) >> 12
-			osPages := uint64(float64(pages) * osFrac)
-			zeroPages := uint64(float64(pages) * zeroFrac)
-			fill := func(vm *vmm.VM, salt uint64) {
-				for p := uint64(0); p < pages; p++ {
-					gpa := p << 12
-					switch {
-					case p < osPages:
-						vm.SetPageContent(gpa, 0xC0DE0000+p) // same distro in both VMs
-					case p < osPages+zeroPages:
-						vm.SetPageContent(gpa, 1) // zero page
-					default:
-						vm.SetPageContent(gpa, (salt<<32)|p) // unique data
-					}
-				}
-			}
-			fill(vmA, uint64(i)+100)
-			fill(vmB, uint64(j)+200)
-			rep, err := host.ScanAndShare([]*vmm.VM{vmA, vmB})
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, SharingResult{PairA: wls[i], PairB: wls[j], Report: rep})
+			pairs = append(pairs, pair{i, j})
 		}
 	}
-	return out, nil
+	return sched.Run(cfg, len(pairs), func(k int) (SharingResult, error) {
+		i, j := pairs[k].i, pairs[k].j
+		host := vmm.NewHost(vmMB * 3 << 20)
+		vmA, err := host.CreateVM(vmm.VMConfig{Name: wls[i], MemorySize: vmMB << 20, NestedPageSize: 0})
+		if err != nil {
+			return SharingResult{}, err
+		}
+		vmB, err := host.CreateVM(vmm.VMConfig{Name: wls[j], MemorySize: vmMB << 20, NestedPageSize: 0})
+		if err != nil {
+			return SharingResult{}, err
+		}
+		pages := (vmMB << 20) >> 12
+		osPages := uint64(float64(pages) * osFrac)
+		zeroPages := uint64(float64(pages) * zeroFrac)
+		fill := func(vm *vmm.VM, salt uint64) {
+			for p := uint64(0); p < pages; p++ {
+				gpa := p << 12
+				switch {
+				case p < osPages:
+					vm.SetPageContent(gpa, 0xC0DE0000+p) // same distro in both VMs
+				case p < osPages+zeroPages:
+					vm.SetPageContent(gpa, 1) // zero page
+				default:
+					vm.SetPageContent(gpa, (salt<<32)|p) // unique data
+				}
+			}
+		}
+		fill(vmA, uint64(i)+100)
+		fill(vmB, uint64(j)+200)
+		rep, err := host.ScanAndShare([]*vmm.VM{vmA, vmB})
+		if err != nil {
+			return SharingResult{}, err
+		}
+		return SharingResult{PairA: wls[i], PairB: wls[j], Report: rep}, nil
+	})
 }
 
 // SharingTable renders the §IX.E study.

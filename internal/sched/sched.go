@@ -1,0 +1,184 @@
+// Package sched is the parallel experiment scheduler: a bounded worker
+// pool that fans independent simulation cells across cores while
+// keeping output bit-for-bit deterministic. Every cell builds a private
+// simulation stack and derives its RNG seeds from its Spec alone, so
+// execution order cannot change any result; Run therefore collects
+// results by cell index and returns them in submission order, making a
+// parallel run byte-identical to a serial one.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Config controls how a Run executes.
+type Config struct {
+	// Parallelism bounds concurrently executing cells. 0 means
+	// runtime.GOMAXPROCS(0); 1 reproduces strictly serial execution.
+	Parallelism int
+	// Limiter, when non-nil, shares one concurrency budget across
+	// several Run calls (the sections of a full reproduction submit to
+	// the same Limiter); Parallelism is then ignored.
+	Limiter *Limiter
+	// Tracker, when non-nil, receives cell completion events for
+	// progress reporting.
+	Tracker *Tracker
+}
+
+// workers returns the effective worker count for n cells.
+func (c Config) workers(n int) int {
+	p := c.Parallelism
+	if c.Limiter != nil {
+		p = c.Limiter.capacity
+	}
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	return p
+}
+
+// Limiter is a counting semaphore shared by concurrent Run calls so
+// that their combined in-flight cells never exceed its capacity.
+type Limiter struct {
+	capacity int
+	slots    chan struct{}
+}
+
+// NewLimiter builds a limiter admitting parallelism concurrent cells
+// (0 or negative means runtime.GOMAXPROCS(0)).
+func NewLimiter(parallelism int) *Limiter {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &Limiter{capacity: parallelism, slots: make(chan struct{}, parallelism)}
+}
+
+func (l *Limiter) acquire() { l.slots <- struct{}{} }
+func (l *Limiter) release() { <-l.slots }
+
+// Tracker aggregates progress across every pool sharing it: total grows
+// as Run calls register their cells, done as cells complete. The
+// callback is serialized under the tracker's lock.
+type Tracker struct {
+	mu          sync.Mutex
+	done, total int
+	callback    func(done, total int)
+}
+
+// NewTracker builds a tracker invoking callback on every change.
+func NewTracker(callback func(done, total int)) *Tracker {
+	return &Tracker{callback: callback}
+}
+
+// expect registers n upcoming cells. Safe on a nil tracker.
+func (t *Tracker) expect(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.total += n
+	if t.callback != nil {
+		t.callback(t.done, t.total)
+	}
+	t.mu.Unlock()
+}
+
+// finish records one completed cell. Safe on a nil tracker.
+func (t *Tracker) finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.done++
+	if t.callback != nil {
+		t.callback(t.done, t.total)
+	}
+	t.mu.Unlock()
+}
+
+// Run executes fn(i) for every i in [0, n) on a bounded worker pool and
+// returns the results indexed by i — the same order a serial loop would
+// produce. The first error (lowest cell index among those observed)
+// cancels all not-yet-started cells and is returned; with Parallelism 1
+// this is exactly the error a serial loop would stop at.
+func Run[T any](cfg Config, n int, fn func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	if n == 0 {
+		return results, nil
+	}
+	cfg.Tracker.expect(n)
+	var (
+		next     atomic.Int64
+		canceled atomic.Bool
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	workers := cfg.workers(n)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || canceled.Load() {
+					return
+				}
+				if cfg.Limiter != nil {
+					cfg.Limiter.acquire()
+				}
+				res, err := fn(i)
+				if cfg.Limiter != nil {
+					cfg.Limiter.release()
+				}
+				if err != nil {
+					canceled.Store(true)
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					return
+				}
+				results[i] = res
+				cfg.Tracker.finish()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// Tasks runs the given functions concurrently — one goroutine each —
+// and returns the error of the lowest-indexed task that failed. Tasks
+// are coarse units (whole report sections) and are deliberately not
+// charged against any Limiter: each task is expected to submit its own
+// cells through Run with a shared Limiter, which is where the
+// machine-wide concurrency bound lives.
+func Tasks(tasks ...func() error) error {
+	errs := make([]error, len(tasks))
+	var wg sync.WaitGroup
+	wg.Add(len(tasks))
+	for i, task := range tasks {
+		go func(i int, task func() error) {
+			defer wg.Done()
+			errs[i] = task()
+		}(i, task)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

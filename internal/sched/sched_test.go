@@ -1,0 +1,141 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunCollectsInOrder(t *testing.T) {
+	for _, parallelism := range []int{1, 4, 16} {
+		got, err := Run(Config{Parallelism: parallelism}, 100, func(i int) (int, error) {
+			if i%7 == 0 {
+				time.Sleep(time.Millisecond) // shuffle completion order
+			}
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", parallelism, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("p=%d: result[%d] = %d", parallelism, i, v)
+			}
+		}
+	}
+}
+
+func TestRunZeroCells(t *testing.T) {
+	got, err := Run(Config{}, 0, func(i int) (int, error) { return 0, errors.New("never") })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestRunFirstErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var executed atomic.Int64
+	_, err := Run(Config{Parallelism: 2}, 100, func(i int) (int, error) {
+		executed.Add(1)
+		if i == 5 {
+			return 0, fmt.Errorf("cell %d: %w", i, boom)
+		}
+		time.Sleep(time.Millisecond)
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Cancellation must stop the pool long before all 100 cells run;
+	// allow generous slack for cells already in flight.
+	if n := executed.Load(); n >= 50 {
+		t.Errorf("%d cells executed after first error", n)
+	}
+}
+
+func TestRunReturnsLowestIndexedError(t *testing.T) {
+	// Serial execution must report exactly the error a serial loop
+	// would have stopped at.
+	_, err := Run(Config{Parallelism: 1}, 10, func(i int) (int, error) {
+		if i >= 3 {
+			return 0, fmt.Errorf("cell %d failed", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "cell 3 failed" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSharedLimiterBoundsConcurrency(t *testing.T) {
+	lim := NewLimiter(2)
+	var inFlight, maxInFlight atomic.Int64
+	cell := func(i int) (int, error) {
+		cur := inFlight.Add(1)
+		for {
+			max := maxInFlight.Load()
+			if cur <= max || maxInFlight.CompareAndSwap(max, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return i, nil
+	}
+	// Two pools submitting concurrently share the two slots.
+	err := Tasks(
+		func() error { _, err := Run(Config{Limiter: lim}, 20, cell); return err },
+		func() error { _, err := Run(Config{Limiter: lim}, 20, cell); return err },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := maxInFlight.Load(); m > 2 {
+		t.Errorf("max in-flight cells = %d with a 2-slot limiter", m)
+	}
+}
+
+func TestTrackerAggregatesAcrossPools(t *testing.T) {
+	var mu sync.Mutex
+	var lastDone, lastTotal int
+	tr := NewTracker(func(done, total int) {
+		mu.Lock()
+		lastDone, lastTotal = done, total
+		mu.Unlock()
+	})
+	cfg := Config{Parallelism: 4, Tracker: tr}
+	err := Tasks(
+		func() error { _, err := Run(cfg, 10, func(i int) (int, error) { return i, nil }); return err },
+		func() error { _, err := Run(cfg, 15, func(i int) (int, error) { return i, nil }); return err },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastDone != 25 || lastTotal != 25 {
+		t.Errorf("final progress = %d/%d, want 25/25", lastDone, lastTotal)
+	}
+}
+
+func TestTasksReturnsLowestIndexedError(t *testing.T) {
+	errA := errors.New("a")
+	err := Tasks(
+		func() error { time.Sleep(2 * time.Millisecond); return errA },
+		func() error { return errors.New("b") },
+		func() error { return nil },
+	)
+	if err != errA {
+		t.Fatalf("err = %v, want task-order first error", err)
+	}
+}
+
+func TestNilTrackerSafe(t *testing.T) {
+	var tr *Tracker
+	tr.expect(3)
+	tr.finish()
+	if _, err := Run(Config{Parallelism: 2}, 5, func(i int) (int, error) { return i, nil }); err != nil {
+		t.Fatal(err)
+	}
+}

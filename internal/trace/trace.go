@@ -190,10 +190,11 @@ func (z *Zipf) Rank() uint64 {
 // Slice is an in-memory trace, convenient for tests and for replaying a
 // fixed event sequence under several configurations.
 type Slice struct {
-	name string
-	evs  []Event
-	pos  int
-	ws   addr.Range
+	name     string
+	evs      []Event
+	pos      int
+	ws       addr.Range
+	accesses uint64
 }
 
 // NewSlice builds a replayable trace from events. The working set is the
@@ -203,6 +204,9 @@ func NewSlice(name string, evs []Event) *Slice {
 	if len(evs) > 0 {
 		lo, hi := uint64(math.MaxUint64), uint64(0)
 		for _, e := range evs {
+			if e.Kind == Access {
+				s.accesses++
+			}
 			v := uint64(e.VA)
 			end := v + 1
 			if e.Kind != Access && e.Size > 0 {
@@ -241,6 +245,11 @@ func (s *Slice) WorkingSet() addr.Range { return s.ws }
 
 // Len returns the number of events in the trace.
 func (s *Slice) Len() int { return len(s.evs) }
+
+// AccessCount returns how many Access events the full trace holds,
+// independent of the read cursor. The harness uses it to place the
+// warmup boundary without a counting replay.
+func (s *Slice) AccessCount() uint64 { return s.accesses }
 
 // Collect drains up to max events from g into a Slice (all events when
 // max <= 0). It is primarily a test helper but also powers trace caching

@@ -1,0 +1,34 @@
+package workload
+
+import (
+	"testing"
+
+	"vdirect/internal/trace"
+)
+
+// TestAccessCountMatchesReplay pins the analytic access count — which
+// the experiment harness uses to place warmup boundaries without a
+// counting replay — to what a replay actually emits.
+func TestAccessCountMatchesReplay(t *testing.T) {
+	for _, name := range Names() {
+		w := New(name, Config{Seed: 3, MemoryMB: 16, Ops: 20000})
+		var replayed uint64
+		for {
+			ev, ok := w.Next()
+			if !ok {
+				break
+			}
+			if ev.Kind == trace.Access {
+				replayed++
+			}
+		}
+		if got := w.AccessCount(); got != replayed {
+			t.Errorf("%s: AccessCount() = %d, replay emitted %d", name, got, replayed)
+		}
+		// The count must not depend on the read cursor.
+		w.Reset()
+		if got := w.AccessCount(); got != replayed {
+			t.Errorf("%s: AccessCount() after Reset = %d, want %d", name, got, replayed)
+		}
+	}
+}

@@ -76,6 +76,11 @@ func (c Config) withDefaults() Config {
 // the evaluation needs.
 type Workload interface {
 	trace.Generator
+	// AccessCount reports how many Access events the full trace emits,
+	// known analytically (generators build their event stream eagerly)
+	// so the harness can place the warmup boundary without replaying
+	// the whole trace once just to count it.
+	AccessCount() uint64
 	// Class reports big-memory vs compute (Table III / Figures 11-12).
 	Class() Class
 	// BaseCPI is the workload's cycles-per-access excluding address

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"vdirect/internal/experiments"
+	"vdirect/internal/sched"
 	"vdirect/internal/workload"
 )
 
@@ -46,6 +47,22 @@ func RunCell(workloadName, config string, scale Scale) (CellResult, error) {
 	spec.Workload = workloadName
 	spec.WL = scale.WLConfig(class, 1)
 	return experiments.Run(spec)
+}
+
+// FigureRow is one workload × config cell of a grid run.
+type FigureRow = experiments.Row
+
+// RunCells simulates every workload × config cell, fanning independent
+// cells across up to parallelism cores (0 means GOMAXPROCS). Rows come
+// back in workload-major order with identical contents at any
+// parallelism.
+func RunCells(workloads, configs []string, scale Scale, parallelism int) ([]FigureRow, error) {
+	for _, w := range workloads {
+		if !workload.Exists(w) {
+			return nil, fmt.Errorf("vdirect: unknown workload %q", w)
+		}
+	}
+	return experiments.RunGridOpts(sched.Config{Parallelism: parallelism}, workloads, configs, scale, 1)
 }
 
 // Figure1 regenerates the paper's motivation figure.
@@ -97,11 +114,78 @@ func (r Report) String() string {
 	return b.String()
 }
 
+// Options configures a full reproduction run.
+type Options struct {
+	// Parallelism bounds concurrently simulated cells across all
+	// sections; 0 means GOMAXPROCS, 1 forces strictly serial
+	// execution. Output is byte-identical at any setting: every cell
+	// owns a private simulation stack with seeds derived from its spec,
+	// and results are assembled in a fixed order.
+	Parallelism int
+	// Fig13Trials is the escape-filter study's trials per point (the
+	// paper uses 30; 0 means 30).
+	Fig13Trials int
+	// Progress, when non-nil, is called — serialized — as simulation
+	// cells complete; total grows as sections register their cells.
+	Progress func(done, total int)
+}
+
 // ReproduceAll runs the complete evaluation at the given scale —
-// everything EXPERIMENTS.md records. At ScaleFull this takes several
-// minutes; fig13Trials controls the escape-filter study's cost (the
-// paper uses 30 trials per point).
+// everything EXPERIMENTS.md records — using every core. At ScaleFull
+// this takes several minutes; fig13Trials controls the escape-filter
+// study's cost (the paper uses 30 trials per point).
 func ReproduceAll(scale Scale, fig13Trials int) (Report, error) {
+	return ReproduceAllOpts(scale, Options{Fig13Trials: fig13Trials})
+}
+
+// ReproduceAllOpts runs the complete evaluation with explicit scheduler
+// options. Independent sections run concurrently and each fans its
+// cells into one shared worker pool, so at most opts.Parallelism cells
+// simulate at any instant machine-wide.
+func ReproduceAllOpts(scale Scale, opts Options) (Report, error) {
+	trials := opts.Fig13Trials
+	if trials <= 0 {
+		trials = 30
+	}
+	cfg := sched.Config{Limiter: sched.NewLimiter(opts.Parallelism)}
+	if opts.Progress != nil {
+		cfg.Tracker = sched.NewTracker(opts.Progress)
+	}
+
+	var (
+		fig1, fig11, fig12 experiments.Figure
+		breakdown          []experiments.BreakdownRow
+		models             []experiments.ModelRow
+		points             []experiments.Fig13Point
+		shadow             []experiments.ShadowResult
+		sharing            []experiments.SharingResult
+	)
+	err := sched.Tasks(
+		func() (err error) { fig1, err = experiments.Figure1Opts(cfg, scale); return },
+		func() (err error) { fig11, err = experiments.Figure11Opts(cfg, scale); return },
+		func() (err error) { fig12, err = experiments.Figure12Opts(cfg, scale); return },
+		func() (err error) {
+			breakdown, err = experiments.BreakdownOpts(cfg, scale,
+				append([]string{"tlbstress"}, workload.BigMemoryNames()...))
+			return
+		},
+		func() (err error) {
+			models, err = experiments.TableIVValidationOpts(cfg, scale, workload.BigMemoryNames())
+			return
+		},
+		func() (err error) { points, err = experiments.Figure13Opts(cfg, scale, trials, nil); return },
+		func() (err error) {
+			shadow, err = experiments.ShadowStudyOpts(cfg, scale,
+				append(append([]string{}, workload.BigMemoryNames()...), workload.ComputeNames()...))
+			return
+		},
+		func() (err error) { sharing, err = experiments.SharingStudyOpts(cfg, 128, 0.03, 0.01); return },
+	)
+	if err != nil {
+		return Report{}, err
+	}
+
+	// Assembly order is fixed regardless of section completion order.
 	var rep Report
 	type tabler interface {
 		Render() string
@@ -110,59 +194,15 @@ func ReproduceAll(scale Scale, fig13Trials int) (Report, error) {
 	add := func(name string, t tabler) {
 		rep.Sections = append(rep.Sections, ReportSection{Name: name, Text: t.Render(), CSV: t.CSV()})
 	}
-
-	fig1, err := experiments.Figure1(scale)
-	if err != nil {
-		return rep, err
-	}
 	add("figure1", fig1.Grid())
-
-	fig11, err := experiments.Figure11(scale)
-	if err != nil {
-		return rep, err
-	}
 	add("figure11", fig11.Grid())
-
-	fig12, err := experiments.Figure12(scale)
-	if err != nil {
-		return rep, err
-	}
 	add("figure12", fig12.Grid())
-
 	add("sectionVIII", experiments.SectionVIII(append(fig11.Rows, fig12.Rows...)))
-
-	breakdown, err := experiments.Breakdown(scale,
-		append([]string{"tlbstress"}, workload.BigMemoryNames()...))
-	if err != nil {
-		return rep, err
-	}
 	add("breakdown", experiments.BreakdownTable(breakdown))
-
-	models, err := experiments.TableIVValidation(scale, workload.BigMemoryNames())
-	if err != nil {
-		return rep, err
-	}
 	add("tableIV", experiments.ModelTable(models))
-
-	points, err := experiments.Figure13(scale, fig13Trials, nil)
-	if err != nil {
-		return rep, err
-	}
 	add("figure13", experiments.Figure13Table(points))
-
-	shadow, err := experiments.ShadowStudy(scale,
-		append(append([]string{}, workload.BigMemoryNames()...), workload.ComputeNames()...))
-	if err != nil {
-		return rep, err
-	}
 	add("shadow", experiments.ShadowTable(shadow))
-
-	sharing, err := experiments.SharingStudy(128, 0.03, 0.01)
-	if err != nil {
-		return rep, err
-	}
 	add("sharing", experiments.SharingTable(sharing))
-
 	add("energy", experiments.EnergyTable(experiments.Energy(append(fig11.Rows, fig12.Rows...))))
 	add("tableII", experiments.TableII())
 	add("tableIII", experiments.TableIII())

@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# The repo's check gate. The experiment harness is concurrent (see
+# internal/sched), so the race detector runs on every change: any
+# shared mutable state between simulation cells is a bug.
+set -eu
+cd "$(dirname "$0")/.."
+set -x
+go vet ./...
+go build ./...
+go test -race ./...
