@@ -14,6 +14,7 @@
 //	paperbench -j 1                  # serial run (same bytes, slower)
 //	paperbench -only figure11,shadow # a subset
 //	paperbench -out results/         # also write one file per section
+//	paperbench -cpuprofile cpu.pb    # profile the replay hot path
 package main
 
 import (
@@ -21,6 +22,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -29,14 +32,41 @@ import (
 
 func main() {
 	var (
-		scaleName = flag.String("scale", "medium", "simulation scale: small|medium|full")
-		only      = flag.String("only", "", "comma-separated section subset (figure1,figure11,figure12,figure13,sectionVIII,breakdown,tableIV,shadow,sharing,energy,tableII,tableIII)")
-		outDir    = flag.String("out", "", "directory to write per-section files into")
-		trials    = flag.Int("fig13-trials", 30, "trials per escape-filter point")
-		jobs      = flag.Int("j", 0, "max concurrently simulated cells (0 = GOMAXPROCS); output is identical at any -j")
-		quiet     = flag.Bool("quiet", false, "suppress the cells-done progress line on stderr")
+		scaleName  = flag.String("scale", "medium", "simulation scale: small|medium|full")
+		only       = flag.String("only", "", "comma-separated section subset (figure1,figure11,figure12,figure13,sectionVIII,breakdown,tableIV,shadow,sharing,energy,tableII,tableIII)")
+		outDir     = flag.String("out", "", "directory to write per-section files into")
+		trials     = flag.Int("fig13-trials", 30, "trials per escape-filter point")
+		jobs       = flag.Int("j", 0, "max concurrently simulated cells (0 = GOMAXPROCS); output is identical at any -j")
+		quiet      = flag.Bool("quiet", false, "suppress the cells-done progress line on stderr")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write a post-run heap profile to this file (go tool pprof)")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	var scale vdirect.Scale
 	switch *scaleName {

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"vdirect/internal/addr"
+	"vdirect/internal/replay"
 	"vdirect/internal/stats"
 	"vdirect/internal/trace"
 	"vdirect/internal/workload"
@@ -44,17 +45,13 @@ func main() {
 	for _, n := range names {
 		w := workload.New(n, workload.Config{Seed: *seed, MemoryMB: *mem, Ops: *ops})
 		var (
-			accesses, writes, allocs, stack uint64
-			pages                           = map[uint64]struct{}{}
+			writes, allocs, stack uint64
+			pages                 = map[uint64]struct{}{}
 		)
-		for {
-			ev, ok := w.Next()
-			if !ok {
-				break
-			}
-			switch ev.Kind {
-			case trace.Access:
-				accesses++
+		// Observation-only replay: the trace streams block-wise through
+		// counting hooks, never materialized as a whole.
+		eng := replay.New(w, replay.Hooks{
+			Access: func(ev trace.Event) error {
 				pages[uint64(ev.VA)>>addr.PageShift4K] = struct{}{}
 				if ev.Write {
 					writes++
@@ -62,10 +59,18 @@ func main() {
 				if uint64(ev.VA) >= workload.StackBase && uint64(ev.VA) < workload.StackBase+workload.StackSize {
 					stack++
 				}
-			case trace.Alloc:
+				return nil
+			},
+			Alloc: func(ev trace.Event) error {
 				allocs++
-			}
+				return nil
+			},
+		}, replay.Config{})
+		if err := eng.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "tracestat: %s: %v\n", n, err)
+			os.Exit(1)
 		}
+		accesses := eng.Counts().Accesses
 		t.AddRow(n, w.Class().String(),
 			fmt.Sprintf("%.2f", w.BaseCPI()),
 			fmt.Sprintf("%dMB", w.PrimaryRegion().Size>>20),

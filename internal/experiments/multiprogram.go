@@ -13,6 +13,7 @@ import (
 	"vdirect/internal/addr"
 	"vdirect/internal/guestos"
 	"vdirect/internal/mmu"
+	"vdirect/internal/replay"
 	"vdirect/internal/stats"
 	"vdirect/internal/trace"
 	"vdirect/internal/vmm"
@@ -110,52 +111,54 @@ func runMultiprogram(wl string, scale Scale, quantum int, tagged bool) (float64,
 	sched := guestos.NewScheduler(kernel, []*guestos.Process{pA, pB})
 	sched.UseASID = tagged
 
-	// Interleave the two traces, switching every quantum accesses.
-	type runState struct {
-		w    workload.Workload
-		p    *guestos.Process
-		done bool
-	}
-	states := []*runState{{w: wA, p: pA}, {w: wB, p: pB}}
+	// Interleave the two traces, switching every quantum accesses. Each
+	// process is one replay engine stepped a quantum at a time; the
+	// Alloc/Free hooks stay nil — churn events pass through untranslated,
+	// exactly as the study always treated them (its TLBs are flushed or
+	// retagged wholesale at every switch).
 	var accesses uint64
 	var cycles uint64
 	cpi := wA.BaseCPI()
-	for !states[0].done || !states[1].done {
-		for i, st := range states {
-			if st.done {
+	mkEngine := func(w workload.Workload, p *guestos.Process) *replay.Engine {
+		return replay.New(w, replay.Hooks{
+			Access: func(ev trace.Event) error {
+				va := uint64(ev.VA)
+				for attempt := 0; ; attempt++ {
+					if attempt > 2 {
+						return fmt.Errorf("experiments: multiprogram access stuck at %#x", va)
+					}
+					res, fault := hw.Translate(va)
+					if fault == nil {
+						cycles += res.Cycles
+						return nil
+					}
+					if fault.Kind != mmu.FaultGuest {
+						return fault
+					}
+					if err := p.HandleFault(fault.Addr); err != nil {
+						return err
+					}
+				}
+			},
+		}, replay.Config{})
+	}
+	engines := []*replay.Engine{mkEngine(wA, pA), mkEngine(wB, pB)}
+	done := make([]bool, len(engines))
+	for !done[0] || !done[1] {
+		for i, eng := range engines {
+			if done[i] {
 				continue
 			}
 			if err := sched.SwitchTo(i, hw); err != nil {
 				return 0, 0, err
 			}
-			for n := 0; n < quantum; {
-				ev, ok := st.w.Next()
-				if !ok {
-					st.done = true
-					break
-				}
-				if ev.Kind != trace.Access {
-					continue
-				}
-				va := uint64(ev.VA)
-				for attempt := 0; ; attempt++ {
-					if attempt > 2 {
-						return 0, 0, fmt.Errorf("experiments: multiprogram access stuck at %#x", va)
-					}
-					res, fault := hw.Translate(va)
-					if fault == nil {
-						cycles += res.Cycles
-						break
-					}
-					if fault.Kind != mmu.FaultGuest {
-						return 0, 0, fault
-					}
-					if err := st.p.HandleFault(fault.Addr); err != nil {
-						return 0, 0, err
-					}
-				}
-				accesses++
-				n++
+			n, more, err := eng.Step(quantum)
+			if err != nil {
+				return 0, 0, err
+			}
+			accesses += uint64(n)
+			if !more {
+				done[i] = true
 			}
 		}
 	}

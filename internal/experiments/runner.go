@@ -12,6 +12,7 @@ import (
 	"vdirect/internal/mmu"
 	"vdirect/internal/perfmodel"
 	"vdirect/internal/physmem"
+	"vdirect/internal/replay"
 	"vdirect/internal/trace"
 	"vdirect/internal/vmm"
 	"vdirect/internal/workload"
@@ -49,22 +50,29 @@ type env struct {
 
 // Run simulates one Spec end to end.
 func Run(spec Spec) (Result, error) {
+	return RunWorkload(spec, workload.New(spec.Workload, spec.WL))
+}
+
+// RunWorkload is Run with a caller-supplied workload instance. The
+// golden equivalence tests use it to replay the same spec through the
+// block streaming path and the per-event Next shim; it also lets
+// callers drive custom (e.g. file-backed) traces through the harness.
+func RunWorkload(spec Spec, w workload.Workload) (Result, error) {
 	if spec.WarmupFrac == 0 {
 		spec.WarmupFrac = 0.2
 	}
-	e, err := build(spec)
+	e, err := build(spec, w)
 	if err != nil {
 		return Result{}, fmt.Errorf("experiments: building %s/%s: %w", spec.Workload, spec.Label, err)
 	}
 	if got := e.m.Mode(); got != spec.Mode {
 		return Result{}, fmt.Errorf("experiments: built mode %v, wanted %v", got, spec.Mode)
 	}
-	return replay(spec, e)
+	return replayRun(spec, e)
 }
 
 // build assembles the stack for a spec.
-func build(spec Spec) (*env, error) {
-	w := workload.New(spec.Workload, spec.WL)
+func build(spec Spec, w workload.Workload) (*env, error) {
 	prim := w.PrimaryRegion()
 
 	// Guest physical sizing: the primary region's backing (rounded up
@@ -186,52 +194,37 @@ func injectBadPages(spec Spec, e *env) error {
 	return nil
 }
 
-// replay runs the trace through the MMU, servicing faults like the OS
-// would, with statistics reset at the warmup boundary. The warmup point
-// comes from the workload's analytic access count, so the trace is
-// traversed exactly once.
-func replay(spec Spec, e *env) (Result, error) {
+// replayRun streams the trace through the MMU via the replay engine,
+// servicing faults like the OS would, with statistics reset at the
+// warmup boundary. The warmup point comes from the workload's analytic
+// access count, so the trace is traversed exactly once. Alloc events
+// need no hook: pages fault in on first touch.
+func replayRun(spec Spec, e *env) (Result, error) {
 	total := e.w.AccessCount()
 	warmupAt := uint64(float64(total) * spec.WarmupFrac)
 	e.w.Reset()
-	if warmupAt == 0 {
-		// A warmup fraction that rounds to zero accesses measures the
-		// whole trace; the seen == warmupAt reset below can never fire
-		// (seen starts at 1), so reset up front.
-		e.m.ResetStats()
-	}
 
-	var seen, measured uint64
-	for {
-		ev, ok := e.w.Next()
-		if !ok {
-			break
-		}
-		switch ev.Kind {
-		case trace.Access:
-			if err := translate(e, uint64(ev.VA)); err != nil {
-				return Result{}, err
-			}
-			seen++
-			if seen == warmupAt {
-				e.m.ResetStats()
-			}
-			if seen > warmupAt {
-				measured++
-			}
-		case trace.Alloc:
-			// Pages fault in on first touch; nothing eager to do.
-		case trace.Free:
+	eng := replay.New(e.w, replay.Hooks{
+		Access: func(ev trace.Event) error {
+			return translate(e, uint64(ev.VA))
+		},
+		Free: func(ev trace.Event) error {
 			r := addr.Range{Start: uint64(ev.VA), Size: ev.Size}
 			if err := e.proc.Unmap(r); err != nil {
-				return Result{}, fmt.Errorf("experiments: free at %#x: %w", ev.VA, err)
+				return fmt.Errorf("experiments: free at %#x: %w", ev.VA, err)
 			}
 			for va := r.Start; va < r.End(); va += addr.PageSize4K {
 				e.m.InvalidatePage(va, addr.Page4K)
 			}
-		}
+			return nil
+		},
+		Warmup: e.m.ResetStats,
+	}, replay.Config{WarmupAccesses: warmupAt})
+	if err := eng.Run(); err != nil {
+		return Result{}, err
 	}
 
+	measured := eng.Counts().Measured
 	st := e.m.Stats()
 	ideal := float64(measured) * e.w.BaseCPI()
 	res := Result{

@@ -13,6 +13,7 @@ import (
 	"vdirect/internal/addr"
 	"vdirect/internal/guestos"
 	"vdirect/internal/mmu"
+	"vdirect/internal/replay"
 	"vdirect/internal/sched"
 	"vdirect/internal/stats"
 	"vdirect/internal/trace"
@@ -161,64 +162,57 @@ func runShadow(wl string, wlCfg workload.Config) (shadowOutcome, error) {
 	warmupAt := uint64(float64(total) * 0.2)
 	w.Reset()
 
-	var seen, measured, exitsAtWarmup uint64
-	if warmupAt == 0 {
-		// Zero warmup accesses: measure everything. The in-loop warmup
-		// reset can never fire, so take the startup-cost snapshot here
-		// (the pre-sync exits above are excluded either way).
-		m.ResetStats()
-		exitsAtWarmup, _ = sh.Exits()
-	}
-	for {
-		ev, ok := w.Next()
-		if !ok {
-			break
-		}
-		switch ev.Kind {
-		case trace.Access:
+	// The warmup hook snapshots the pre-warmup VM exits alongside the
+	// stats reset: those (plus the pre-sync exits above) are startup
+	// cost, excluded from the steady-state measurement.
+	var exitsAtWarmup uint64
+	eng := replay.New(w, replay.Hooks{
+		Access: func(ev trace.Event) error {
 			va := uint64(ev.VA)
 			for attempt := 0; ; attempt++ {
 				if attempt > 3 {
-					return shadowOutcome{}, fmt.Errorf("experiments: shadow access at %#x stuck", va)
+					return fmt.Errorf("experiments: shadow access at %#x stuck", va)
 				}
 				_, fault := m.Translate(va)
 				if fault == nil {
-					break
+					return nil
 				}
 				// One VM exit handles the whole fault: the VMM fields
 				// the guest fault, updates the guest PT if needed, and
 				// syncs the shadow entry.
 				if _, _, mapped := proc.PT.Translate(va); !mapped {
 					if err := proc.HandleFault(va); err != nil {
-						return shadowOutcome{}, err
+						return err
 					}
 				}
 				if err := sh.SyncPage(proc.PT, va); err != nil {
-					return shadowOutcome{}, err
+					return err
 				}
 			}
-			seen++
-			if seen == warmupAt {
-				m.ResetStats()
-				exitsAtWarmup, _ = sh.Exits()
-			}
-			if seen > warmupAt {
-				measured++
-			}
-		case trace.Free:
+		},
+		Free: func(ev trace.Event) error {
 			r := addr.Range{Start: uint64(ev.VA), Size: ev.Size}
 			if err := proc.Unmap(r); err != nil {
-				return shadowOutcome{}, err
+				return err
 			}
 			for va := r.Start; va < r.End(); va += addr.PageSize4K {
 				// Each guest PTE clear traps and invalidates shadow state.
 				if err := sh.InvalidatePage(va, addr.Page4K); err != nil {
-					return shadowOutcome{}, err
+					return err
 				}
 				m.InvalidatePage(va, addr.Page4K)
 			}
-		}
+			return nil
+		},
+		Warmup: func() {
+			m.ResetStats()
+			exitsAtWarmup, _ = sh.Exits()
+		},
+	}, replay.Config{WarmupAccesses: warmupAt})
+	if err := eng.Run(); err != nil {
+		return shadowOutcome{}, err
 	}
+	measured := eng.Counts().Measured
 	exits, exitCycles := sh.Exits()
 	exits -= exitsAtWarmup
 	exitCycles -= exitsAtWarmup * vmm.DefaultExitCycles

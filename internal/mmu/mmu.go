@@ -448,13 +448,12 @@ func (m *MMU) pageWalk(gva uint64, cycles uint64) (Result, *Fault) {
 // nativeWalk is the 1D walk: up to 4 references through the PTE cache,
 // reduced by the paging-structure caches.
 func (m *MMU) nativeWalk(va uint64, cycles uint64) (Result, *Fault) {
-	pa, size, refs, ok := m.walkGuestTable(va, &cycles, nil)
+	pa, size, ok := m.walkGuestTable(va, &cycles, nil)
 	if !ok {
 		m.stats.GuestFaults++
 		m.stats.WalkCycles += cycles
 		return Result{}, &Fault{Kind: FaultGuest, Addr: va}
 	}
-	_ = refs
 	m.stats.WalkCycles += cycles
 	m.insertComposite(va, pa, size, size)
 	return Result{HPA: pa, Cycles: cycles}, nil
@@ -463,11 +462,12 @@ func (m *MMU) nativeWalk(va uint64, cycles uint64) (Result, *Fault) {
 // walkGuestTable walks the first-dimension table, applying the guest
 // PWC and, when virtualized, translating every table reference (a gPA)
 // through the nested dimension before reading it. It returns the leaf
-// translation, its page size, and the guest-dimension references made.
+// translation and its page size; the references themselves are
+// accounted into the stats and PWC here, so no caller consumes them.
 // translateRef is non-nil in virtualized mode.
-func (m *MMU) walkGuestTable(va uint64, cycles *uint64, translateRef func(gpa uint64, cyc *uint64) (uint64, *Fault)) (pa uint64, size addr.PageSize, refs []pagetable.Ref, ok bool) {
+func (m *MMU) walkGuestTable(va uint64, cycles *uint64, translateRef func(gpa uint64, cyc *uint64) (uint64, *Fault)) (pa uint64, size addr.PageSize, ok bool) {
 	m.refBuf = m.refBuf[:0]
-	pa, size, refs, ok = m.gPT.Walk(va, m.refBuf)
+	pa, size, refs, ok := m.gPT.Walk(va, m.refBuf)
 	m.refBuf = refs
 
 	skip := 0
@@ -482,7 +482,7 @@ func (m *MMU) walkGuestTable(va uint64, cycles *uint64, translateRef func(gpa ui
 		if translateRef != nil {
 			hpa, fault := translateRef(ref.Addr, cycles)
 			if fault != nil {
-				return 0, 0, refs, false
+				return 0, 0, false
 			}
 			physAddr = hpa
 		}
@@ -494,7 +494,7 @@ func (m *MMU) walkGuestTable(va uint64, cycles *uint64, translateRef func(gpa ui
 		leafLvl := refs[len(refs)-1].Level
 		m.pwc.FillFrom(va, skip, leafLvl)
 	}
-	return pa, size, refs, ok
+	return pa, size, ok
 }
 
 // nestedTranslate resolves one gPA to hPA: VMM segment (with escape
@@ -573,7 +573,7 @@ func (m *MMU) nestedWalk2D(gva uint64, cycles uint64) (Result, *Fault) {
 		// Walk the guest page table; each reference is a gPA needing
 		// nested translation first (the 5×4 of the 24-reference walk).
 		var fault *Fault
-		pa, size, _, ok := m.walkGuestTable(gva, &cycles, func(refGPA uint64, cyc *uint64) (uint64, *Fault) {
+		pa, size, ok := m.walkGuestTable(gva, &cycles, func(refGPA uint64, cyc *uint64) (uint64, *Fault) {
 			hpa, _, f := m.nestedTranslate(refGPA, cyc)
 			if f != nil {
 				fault = f

@@ -1,0 +1,190 @@
+// Package replay owns the trace-replay loop every experiment drives:
+// it streams a workload's events through caller-supplied hooks, with
+// warmup accounting, in blocks rather than one interface call per
+// event. Before this engine existed the loop was duplicated — with
+// subtly different warmup-reset, fault-service and alloc/free handling
+// — in the figure runner, the shadow-paging study, the
+// multiprogramming study, and the tracestat tool; all four are now
+// thin hook configurations of this one loop.
+//
+// Hot-path design: the engine fills a reusable buffer of BlockSize
+// events per trace.BlockGenerator call (one interface dispatch per
+// ~4K events instead of one per event) and then iterates a plain
+// slice. Generators that only implement trace.Generator still work
+// through the per-event shim in trace.FillBlock — the golden
+// equivalence tests replay both paths and demand identical results.
+package replay
+
+import (
+	"vdirect/internal/trace"
+)
+
+// DefaultBlockSize is the events-per-refill the engine uses unless
+// configured otherwise. 4096 events × 24 bytes ≈ 96KiB: large enough
+// to amortize the refill dispatch to noise, small enough that the
+// buffer stays cache-resident while the MMU model's tables compete
+// for the same cache.
+const DefaultBlockSize = 4096
+
+// Hooks are the engine's extension points. Nil hooks are skipped, so
+// a study that ignores Alloc events (as most do) simply leaves Alloc
+// nil; an observation-only consumer like tracestat sets just Access
+// and Alloc. A hook returning an error aborts the replay immediately
+// with the cursor positioned after the failing event.
+type Hooks struct {
+	// Access services one data reference — typically an MMU translate
+	// with demand-paging retry. ev.Kind is always trace.Access.
+	Access func(ev trace.Event) error
+	// Alloc observes an mmap/brk event (pages fault in on first touch,
+	// so most consumers leave this nil).
+	Alloc func(ev trace.Event) error
+	// Free handles an unmap event — typically guest-PT unmap plus TLB
+	// invalidation. Nil means unmaps are ignored, as the
+	// multiprogramming study's original loop did.
+	Free func(ev trace.Event) error
+	// Warmup fires exactly once at the measurement boundary: after the
+	// WarmupAccesses-th access has been serviced, or before the first
+	// event when WarmupAccesses is 0 (a warmup fraction that rounds to
+	// zero measures the whole trace). Consumers reset statistics here.
+	Warmup func()
+}
+
+// Config sizes the engine.
+type Config struct {
+	// BlockSize is the events-per-refill; 0 means DefaultBlockSize.
+	BlockSize int
+	// WarmupAccesses is the number of serviced accesses before the
+	// Warmup hook fires; accesses after it count as measured.
+	WarmupAccesses uint64
+}
+
+// Counts reports what a replay processed.
+type Counts struct {
+	// Events is every trace event consumed, of any kind.
+	Events uint64
+	// Accesses is the number of serviced Access events.
+	Accesses uint64
+	// Measured is the accesses after the warmup boundary (all of them
+	// when WarmupAccesses is 0).
+	Measured uint64
+}
+
+// Engine drives one generator through one set of hooks. It is single-
+// goroutine state, like the simulation stack it feeds; concurrent
+// cells each build their own engine (see internal/sched).
+type Engine struct {
+	g   trace.Generator
+	h   Hooks
+	buf []trace.Event
+	pos int // next unconsumed event in buf
+	n   int // valid events in buf
+
+	warmupAt  uint64
+	started   bool
+	exhausted bool
+	counts    Counts
+}
+
+// New builds an engine over g. The generator should be freshly Reset;
+// the engine consumes it from its current cursor.
+func New(g trace.Generator, h Hooks, cfg Config) *Engine {
+	bs := cfg.BlockSize
+	if bs <= 0 {
+		bs = DefaultBlockSize
+	}
+	return &Engine{
+		g:        g,
+		h:        h,
+		buf:      make([]trace.Event, bs),
+		warmupAt: cfg.WarmupAccesses,
+	}
+}
+
+// Counts reports progress so far; valid mid-replay (between Steps) and
+// after Run.
+func (e *Engine) Counts() Counts { return e.counts }
+
+// Run drains the remainder of the trace through the hooks.
+func (e *Engine) Run() error {
+	_, _, err := e.Step(0)
+	return err
+}
+
+// Step services up to limit Access events (every remaining event when
+// limit <= 0) and returns the number serviced plus whether the trace
+// has more events. Non-access events encountered along the way are
+// processed but do not count toward the limit — this is the
+// multiprogramming study's scheduling quantum, measured in accesses
+// exactly as its hand-rolled loop measured it.
+func (e *Engine) Step(limit int) (serviced int, more bool, err error) {
+	if !e.started {
+		e.started = true
+		if e.warmupAt == 0 && e.h.Warmup != nil {
+			e.h.Warmup()
+		}
+	}
+	for limit <= 0 || serviced < limit {
+		if e.pos >= e.n && !e.refill() {
+			return serviced, false, nil
+		}
+		// Iterate the buffered block as a plain slice: no interface
+		// dispatch, and the bounds check hoists out of the common case.
+		block := e.buf[e.pos:e.n]
+		for i := range block {
+			ev := block[i]
+			e.counts.Events++
+			switch ev.Kind {
+			case trace.Access:
+				if e.h.Access != nil {
+					if err := e.h.Access(ev); err != nil {
+						e.pos += i + 1
+						return serviced, true, err
+					}
+				}
+				e.counts.Accesses++
+				serviced++
+				if e.counts.Accesses == e.warmupAt && e.h.Warmup != nil {
+					e.h.Warmup()
+				}
+				if e.counts.Accesses > e.warmupAt {
+					e.counts.Measured++
+				}
+				if limit > 0 && serviced >= limit {
+					e.pos += i + 1
+					return serviced, true, nil
+				}
+			case trace.Alloc:
+				if e.h.Alloc != nil {
+					if err := e.h.Alloc(ev); err != nil {
+						e.pos += i + 1
+						return serviced, true, err
+					}
+				}
+			case trace.Free:
+				if e.h.Free != nil {
+					if err := e.h.Free(ev); err != nil {
+						e.pos += i + 1
+						return serviced, true, err
+					}
+				}
+			}
+		}
+		e.pos = e.n
+	}
+	return serviced, true, nil
+}
+
+// refill pulls the next block from the generator; false means the
+// trace is exhausted.
+func (e *Engine) refill() bool {
+	if e.exhausted {
+		return false
+	}
+	e.n = trace.FillBlock(e.g, e.buf)
+	e.pos = 0
+	if e.n == 0 {
+		e.exhausted = true
+		return false
+	}
+	return true
+}

@@ -1,0 +1,163 @@
+package replay
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"vdirect/internal/addr"
+	"vdirect/internal/trace"
+)
+
+// script builds a small mixed-kind trace: a alternating accesses with
+// an alloc/free pair every 4 accesses.
+func script(accesses int) []trace.Event {
+	var evs []trace.Event
+	for i := 0; i < accesses; i++ {
+		evs = append(evs, trace.Event{Kind: trace.Access, VA: addr.GVA(0x1000 + i*64)})
+		if (i+1)%4 == 0 {
+			evs = append(evs,
+				trace.Event{Kind: trace.Alloc, VA: 0x9000, Size: 4096},
+				trace.Event{Kind: trace.Free, VA: 0x9000, Size: 4096})
+		}
+	}
+	return evs
+}
+
+// perEventOnly hides NextBlock so the engine takes the Next shim path.
+type perEventOnly struct{ trace.Generator }
+
+func TestEngineCountsAndOrder(t *testing.T) {
+	evs := script(20)
+	for _, tc := range []struct {
+		name string
+		gen  func() trace.Generator
+	}{
+		{"block", func() trace.Generator { return trace.NewSlice("s", evs) }},
+		{"per-event", func() trace.Generator { return perEventOnly{trace.NewSlice("s", evs)} }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var got []trace.Event
+			obs := func(ev trace.Event) error { got = append(got, ev); return nil }
+			e := New(tc.gen(), Hooks{Access: obs, Alloc: obs, Free: obs}, Config{BlockSize: 7})
+			if err := e.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(evs) {
+				t.Fatalf("observed %d events, want %d", len(got), len(evs))
+			}
+			for i := range evs {
+				if got[i] != evs[i] {
+					t.Fatalf("event %d: got %+v want %+v", i, got[i], evs[i])
+				}
+			}
+			c := e.Counts()
+			if c.Events != uint64(len(evs)) || c.Accesses != 20 || c.Measured != 20 {
+				t.Errorf("counts = %+v", c)
+			}
+		})
+	}
+}
+
+func TestEngineWarmupBoundary(t *testing.T) {
+	evs := script(10)
+	var atWarmup uint64
+	var seen uint64
+	e := New(trace.NewSlice("s", evs), Hooks{
+		Access: func(trace.Event) error { seen++; return nil },
+		Warmup: func() { atWarmup = seen },
+	}, Config{WarmupAccesses: 4, BlockSize: 3})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Warmup fires after the 4th access is serviced, like the hand-
+	// rolled loops' seen == warmupAt reset.
+	if atWarmup != 4 {
+		t.Errorf("warmup fired after %d accesses, want 4", atWarmup)
+	}
+	if c := e.Counts(); c.Accesses != 10 || c.Measured != 6 {
+		t.Errorf("counts = %+v, want 10 accesses / 6 measured", c)
+	}
+}
+
+func TestEngineZeroWarmupFiresUpfront(t *testing.T) {
+	var fired bool
+	var before uint64
+	e := New(trace.NewSlice("s", script(5)), Hooks{
+		Access: func(trace.Event) error { before++; return nil },
+		Warmup: func() {
+			fired = true
+			if before != 0 {
+				t.Errorf("warmup fired after %d accesses, want 0", before)
+			}
+		},
+	}, Config{})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Error("warmup never fired")
+	}
+	if c := e.Counts(); c.Measured != 5 {
+		t.Errorf("measured = %d, want all 5", c.Measured)
+	}
+}
+
+func TestEngineStepQuantum(t *testing.T) {
+	// 20 accesses with alloc/free noise, quantum 6: steps of 6,6,6,2.
+	e := New(trace.NewSlice("s", script(20)), Hooks{
+		Access: func(trace.Event) error { return nil },
+	}, Config{BlockSize: 4})
+	var steps []int
+	for {
+		n, more, err := e.Step(6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n > 0 {
+			steps = append(steps, n)
+		}
+		if !more {
+			break
+		}
+	}
+	want := []int{6, 6, 6, 2}
+	if fmt.Sprint(steps) != fmt.Sprint(want) {
+		t.Errorf("quantum steps = %v, want %v", steps, want)
+	}
+	if c := e.Counts(); c.Accesses != 20 || c.Events != uint64(len(script(20))) {
+		t.Errorf("counts = %+v", c)
+	}
+}
+
+func TestEngineHookErrorStops(t *testing.T) {
+	boom := errors.New("boom")
+	var serviced int
+	e := New(trace.NewSlice("s", script(10)), Hooks{
+		Access: func(trace.Event) error {
+			serviced++
+			if serviced == 3 {
+				return boom
+			}
+			return nil
+		},
+	}, Config{BlockSize: 2})
+	if err := e.Run(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if serviced != 3 {
+		t.Errorf("hook ran %d times after error, want 3", serviced)
+	}
+}
+
+func TestEngineEmptyTrace(t *testing.T) {
+	fired := false
+	e := New(trace.NewSlice("s", nil), Hooks{Warmup: func() { fired = true }}, Config{})
+	n, more, err := e.Step(5)
+	if err != nil || n != 0 || more {
+		t.Errorf("Step on empty = (%d, %v, %v)", n, more, err)
+	}
+	if !fired {
+		t.Error("zero-warmup hook should fire even on an empty trace")
+	}
+}

@@ -8,6 +8,7 @@
 package trace
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -44,6 +45,9 @@ type Event struct {
 // Generator produces a deterministic stream of events. Generators are
 // restartable: Reset returns them to the initial state so that the same
 // instance can be replayed under many MMU configurations.
+//
+// Next is the compatibility shim for one-event-at-a-time consumers;
+// hot paths should detect BlockGenerator and pull events in blocks.
 type Generator interface {
 	// Name identifies the workload (e.g. "graph500").
 	Name() string
@@ -54,6 +58,39 @@ type Generator interface {
 	// WorkingSet returns the span of guest virtual memory the trace
 	// touches, used to size primary regions and direct segments.
 	WorkingSet() addr.Range
+}
+
+// BlockGenerator is the streaming fast path: generators that can fill a
+// caller-owned buffer with many events per call, amortizing interface
+// dispatch out of the replay hot loop. NextBlock and Next share one
+// read cursor — mixing them is safe and Reset rewinds both.
+type BlockGenerator interface {
+	Generator
+	// NextBlock copies up to len(buf) events into buf and returns how
+	// many were written; 0 means the trace is exhausted (like ok=false
+	// from Next). It never returns 0 with events remaining when
+	// len(buf) > 0.
+	NextBlock(buf []Event) int
+}
+
+// FillBlock fills buf from g, using the block fast path when g
+// implements BlockGenerator and falling back to per-event Next calls
+// otherwise. It returns the number of events written; 0 means the
+// trace is exhausted (when len(buf) > 0).
+func FillBlock(g Generator, buf []Event) int {
+	if bg, ok := g.(BlockGenerator); ok {
+		return bg.NextBlock(buf)
+	}
+	n := 0
+	for n < len(buf) {
+		ev, ok := g.Next()
+		if !ok {
+			break
+		}
+		buf[n] = ev
+		n++
+	}
+	return n
 }
 
 // Rand is a deterministic xorshift64* PRNG. It is intentionally not
@@ -237,6 +274,15 @@ func (s *Slice) Next() (Event, bool) {
 	return ev, true
 }
 
+// NextBlock implements BlockGenerator: it copies a run of events into
+// buf and advances the shared cursor, one call per ~len(buf) events
+// instead of one interface call per event.
+func (s *Slice) NextBlock(buf []Event) int {
+	n := copy(buf, s.evs[s.pos:])
+	s.pos += n
+	return n
+}
+
 // Reset implements Generator.
 func (s *Slice) Reset() { s.pos = 0 }
 
@@ -251,22 +297,38 @@ func (s *Slice) Len() int { return len(s.evs) }
 // warmup boundary without a counting replay.
 func (s *Slice) AccessCount() uint64 { return s.accesses }
 
+// ErrTruncated reports that Collect hit its max before the generator
+// was exhausted, so the returned Slice is a prefix of the full trace.
+var ErrTruncated = errors.New("trace: collection truncated at max events")
+
 // Collect drains up to max events from g into a Slice (all events when
-// max <= 0). It is primarily a test helper but also powers trace caching
+// max <= 0). When the generator still holds events past max, Collect
+// returns the truncated Slice together with an error wrapping
+// ErrTruncated, so callers can no longer mistake a prefix for the full
+// trace. It is primarily a test helper but also powers trace caching
 // in the experiment harness.
-func Collect(g Generator, max int) *Slice {
+func Collect(g Generator, max int) (*Slice, error) {
 	var evs []Event
+	buf := make([]Event, 1024)
 	for {
-		ev, ok := g.Next()
-		if !ok {
+		want := buf
+		if max > 0 && max-len(evs) < len(buf) {
+			want = buf[:max-len(evs)]
+		}
+		n := FillBlock(g, want)
+		if n == 0 {
 			break
 		}
-		evs = append(evs, ev)
+		evs = append(evs, want[:n]...)
 		if max > 0 && len(evs) >= max {
+			if _, more := g.Next(); more {
+				return NewSlice(g.Name(), evs),
+					fmt.Errorf("%w: kept %d", ErrTruncated, len(evs))
+			}
 			break
 		}
 	}
-	return NewSlice(g.Name(), evs)
+	return NewSlice(g.Name(), evs), nil
 }
 
 func (k Kind) String() string {

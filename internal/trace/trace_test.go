@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -175,14 +176,63 @@ func TestCollect(t *testing.T) {
 		evs[i] = Event{Kind: Access, VA: addr.GVA(i * 4096)}
 	}
 	src := NewSlice("src", evs)
-	c := Collect(src, 4)
+	c, err := Collect(src, 4)
 	if c.Len() != 4 {
 		t.Errorf("Collect(max=4) len = %d", c.Len())
 	}
+	if !errors.Is(err, ErrTruncated) {
+		t.Errorf("Collect(max=4) err = %v, want ErrTruncated", err)
+	}
 	src.Reset()
-	c = Collect(src, 0)
+	c, err = Collect(src, 0)
+	if err != nil {
+		t.Errorf("Collect(all) err = %v", err)
+	}
 	if c.Len() != 10 {
 		t.Errorf("Collect(all) len = %d", c.Len())
+	}
+	// An exact-length max is not a truncation.
+	src.Reset()
+	c, err = Collect(src, 10)
+	if err != nil || c.Len() != 10 {
+		t.Errorf("Collect(max=len) = %d events, err %v", c.Len(), err)
+	}
+}
+
+func TestNextBlockMatchesNext(t *testing.T) {
+	evs := make([]Event, 10)
+	for i := range evs {
+		evs[i] = Event{Kind: Access, VA: addr.GVA(i * 4096)}
+	}
+	a, b := NewSlice("a", evs), NewSlice("b", evs)
+	buf := make([]Event, 3)
+	var blocked []Event
+	for {
+		n := a.NextBlock(buf)
+		if n == 0 {
+			break
+		}
+		blocked = append(blocked, buf[:n]...)
+	}
+	for i := 0; ; i++ {
+		ev, ok := b.Next()
+		if !ok {
+			if i != len(blocked) {
+				t.Fatalf("NextBlock yielded %d events, Next %d", len(blocked), i)
+			}
+			break
+		}
+		if blocked[i] != ev {
+			t.Fatalf("event %d: NextBlock %+v vs Next %+v", i, blocked[i], ev)
+		}
+	}
+	// The two APIs share one cursor: Reset rewinds both.
+	a.Reset()
+	if ev, ok := a.Next(); !ok || ev.VA != 0 {
+		t.Error("Next after Reset did not rewind the block cursor")
+	}
+	if n := a.NextBlock(buf); n != 3 || buf[0].VA != 0x1000 {
+		t.Errorf("NextBlock after Next = %d events starting %#x", n, buf[0].VA)
 	}
 }
 

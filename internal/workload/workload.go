@@ -141,12 +141,18 @@ func Exists(name string) bool {
 // base carries the state all generators share: an eagerly built event
 // slice plus metadata. Eager construction keeps Next allocation-free
 // and makes Reset trivial, at the cost of holding the trace in memory.
+// Embedding *trace.Slice also makes every workload a
+// trace.BlockGenerator, so the replay engine streams events in blocks
+// rather than one interface call per event.
 type base struct {
 	*trace.Slice
 	class   Class
 	cpi     float64
 	primary addr.Range
 }
+
+// Every workload streams in blocks; the replay hot path relies on it.
+var _ trace.BlockGenerator = (*base)(nil)
 
 func (b *base) Class() Class              { return b.class }
 func (b *base) BaseCPI() float64          { return b.cpi }

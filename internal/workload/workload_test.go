@@ -59,8 +59,11 @@ func TestUnknownWorkloadPanics(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	for _, n := range Names() {
-		a := trace.Collect(New(n, smallCfg(7)), 0)
-		b := trace.Collect(New(n, smallCfg(7)), 0)
+		a, errA := trace.Collect(New(n, smallCfg(7)), 0)
+		b, errB := trace.Collect(New(n, smallCfg(7)), 0)
+		if errA != nil || errB != nil {
+			t.Fatalf("%s: Collect errors %v, %v", n, errA, errB)
+		}
 		if a.Len() != b.Len() {
 			t.Errorf("%s: lengths differ %d vs %d", n, a.Len(), b.Len())
 			continue
@@ -80,7 +83,10 @@ func TestDeterminism(t *testing.T) {
 				break
 			}
 		}
-		c := trace.Collect(New(n, smallCfg(8)), 0)
+		c, err := trace.Collect(New(n, smallCfg(8)), 0)
+		if err != nil {
+			t.Fatalf("%s: Collect: %v", n, err)
+		}
 		if c.Len() == a.Len() {
 			// Same length is plausible; compare a prefix for difference.
 			a.Reset()

@@ -1,10 +1,19 @@
 #!/usr/bin/env sh
 # The repo's check gate. The experiment harness is concurrent (see
 # internal/sched), so the race detector runs on every change: any
-# shared mutable state between simulation cells is a bug.
+# shared mutable state between simulation cells is a bug. The replay
+# equivalence suite additionally pins the block streaming path to the
+# per-event shim — byte-identical Result/Stats — before the full tests.
 set -eu
 cd "$(dirname "$0")/.."
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 set -x
 go vet ./...
 go build ./...
+go test -run Equivalence -race ./internal/replay/...
 go test -race ./...
