@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -12,20 +13,54 @@ import (
 	"vdirect/internal/addr"
 	"vdirect/internal/guestos"
 	"vdirect/internal/physmem"
+	"vdirect/internal/telemetry"
 	"vdirect/internal/trace"
 	"vdirect/internal/vmm"
 )
 
 func main() {
-	if err := selfBalloonDemo(); err != nil {
-		fatal(err)
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fragdemo:", err)
+		os.Exit(1)
 	}
-	if err := ioGapDemo(); err != nil {
-		fatal(err)
+}
+
+func run() (retErr error) {
+	var tf telemetry.Flags
+	tf.Register(flag.CommandLine)
+	flag.Parse()
+
+	if tf.Version {
+		fmt.Println(telemetry.VersionString("fragdemo"))
+		return nil
 	}
-	if err := compactionDemo(); err != nil {
-		fatal(err)
+	sess, err := tf.Start("fragdemo", nil)
+	if err != nil {
+		return err
 	}
+	defer func() {
+		if err := sess.Close(retErr); retErr == nil {
+			retErr = err
+		}
+	}()
+
+	demos := []struct {
+		name string
+		f    func() error
+	}{
+		{"self-balloon", selfBalloonDemo},
+		{"io-gap", ioGapDemo},
+		{"compaction", compactionDemo},
+	}
+	for _, d := range demos {
+		span := telemetry.StartSpan("section", d.name)
+		err := d.f()
+		span.End()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // selfBalloonDemo shows Figure 9: contiguous guest physical memory from
@@ -121,9 +156,4 @@ func compactionDemo() error {
 	}
 	fmt.Printf("VMM segment live: %v — Dual Direct now possible\n", seg)
 	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "fragdemo:", err)
-	os.Exit(1)
 }

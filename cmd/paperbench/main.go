@@ -15,6 +15,9 @@
 //	paperbench -only figure11,shadow # a subset
 //	paperbench -out results/         # also write one file per section
 //	paperbench -cpuprofile cpu.pb    # profile the replay hot path
+//	paperbench -trace run.json -manifest run-manifest.json
+//	                                 # Chrome trace + run manifest
+//	paperbench -histograms           # per-walk telemetry histograms
 package main
 
 import (
@@ -28,9 +31,17 @@ import (
 	"time"
 
 	"vdirect"
+	"vdirect/internal/telemetry"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() (retErr error) {
 	var (
 		scaleName  = flag.String("scale", "medium", "simulation scale: small|medium|full")
 		only       = flag.String("only", "", "comma-separated section subset (figure1,figure11,figure12,figure13,sectionVIII,breakdown,tableIV,shadow,sharing,energy,tableII,tableIII)")
@@ -40,32 +51,15 @@ func main() {
 		quiet      = flag.Bool("quiet", false, "suppress the cells-done progress line on stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a post-run heap profile to this file (go tool pprof)")
+		histograms = flag.Bool("histograms", false, "print per-walk telemetry histograms (refs and cycles per mode) after the report")
 	)
+	var tf telemetry.Flags
+	tf.Register(flag.CommandLine)
 	flag.Parse()
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
-		}
-		defer pprof.StopCPUProfile()
-	}
-	if *memprofile != "" {
-		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				fatal(err)
-			}
-			defer f.Close()
-			runtime.GC() // settle allocations so the profile shows live heap
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fatal(err)
-			}
-		}()
+	if tf.Version {
+		fmt.Println(telemetry.VersionString("paperbench"))
+		return nil
 	}
 
 	var scale vdirect.Scale
@@ -77,8 +71,39 @@ func main() {
 	case "full":
 		scale = vdirect.ScaleFull
 	default:
-		fatal(fmt.Errorf("unknown scale %q", *scaleName))
+		return fmt.Errorf("unknown scale %q", *scaleName)
 	}
+
+	// The histogram section needs telemetry live even when no -trace or
+	// -manifest path was given.
+	tf.Force = tf.Force || *histograms
+	sess, err := tf.Start("paperbench", map[string]string{
+		"scale":        *scaleName,
+		"j":            fmt.Sprint(*jobs),
+		"fig13-trials": fmt.Sprint(*trials),
+		"only":         *only,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		// The manifest records the run's error, so Close comes after
+		// retErr settles; its own failure surfaces unless one is already
+		// being reported.
+		if err := sess.Close(retErr); retErr == nil {
+			retErr = err
+		}
+	}()
+
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfiles(); retErr == nil {
+			retErr = err
+		}
+	}()
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -99,7 +124,7 @@ func main() {
 		fmt.Fprintln(os.Stderr)
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	for _, sec := range report.Sections {
 		if len(want) > 0 && !want[sec.Name] {
@@ -108,25 +133,68 @@ func main() {
 		fmt.Println(sec.Text)
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
-				fatal(err)
+				return err
 			}
 			path := filepath.Join(*outDir, sec.Name+".txt")
 			if err := os.WriteFile(path, []byte(sec.Text), 0o644); err != nil {
-				fatal(err)
+				return err
 			}
 			if sec.CSV != "" {
 				csvPath := filepath.Join(*outDir, sec.Name+".csv")
 				if err := os.WriteFile(csvPath, []byte(sec.CSV), 0o644); err != nil {
-					fatal(err)
+					return err
 				}
 			}
 		}
 	}
+	if *histograms {
+		fmt.Println(telemetry.Default().Snapshot().
+			HistogramTable("telemetry — per-walk distributions").Render())
+	}
 	fmt.Printf("— paperbench completed in %s at %s scale —\n",
 		time.Since(start).Round(time.Second), *scaleName)
+	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "paperbench:", err)
-	os.Exit(1)
+// startProfiles begins CPU profiling and arranges the heap profile.
+// Callers run the returned stop via defer, so both profiles flush and
+// close even when the run fails midway — os.Exit never intervenes.
+func startProfiles(cpu, mem string) (stop func() error, err error) {
+	var cpuF *os.File
+	if cpu != "" {
+		cpuF, err = os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		var first error
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				first = err
+			}
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				if first == nil {
+					first = err
+				}
+				return first
+			}
+			runtime.GC() // settle allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = err
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
 }

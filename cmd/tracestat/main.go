@@ -17,69 +17,107 @@ import (
 	"vdirect/internal/addr"
 	"vdirect/internal/replay"
 	"vdirect/internal/stats"
+	"vdirect/internal/telemetry"
 	"vdirect/internal/trace"
 	"vdirect/internal/workload"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat:", err)
+		os.Exit(1)
+	}
+}
+
+func run() (retErr error) {
 	var (
 		name = flag.String("workload", "", "single workload (default: all)")
 		mem  = flag.Int("mem", 256, "working-set MB")
 		ops  = flag.Int("ops", 500000, "accesses to generate")
 		seed = flag.Uint64("seed", 1, "trace seed")
 	)
+	var tf telemetry.Flags
+	tf.Register(flag.CommandLine)
 	flag.Parse()
+
+	if tf.Version {
+		fmt.Println(telemetry.VersionString("tracestat"))
+		return nil
+	}
 
 	names := workload.Names()
 	if *name != "" {
 		if !workload.Exists(*name) {
-			fmt.Fprintf(os.Stderr, "tracestat: unknown workload %q\n", *name)
-			os.Exit(1)
+			return fmt.Errorf("unknown workload %q", *name)
 		}
 		names = []string{*name}
 	}
+
+	sess, err := tf.Start("tracestat", map[string]string{
+		"workload": *name,
+		"mem":      fmt.Sprint(*mem),
+		"ops":      fmt.Sprint(*ops),
+		"seed":     fmt.Sprint(*seed),
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := sess.Close(retErr); retErr == nil {
+			retErr = err
+		}
+	}()
 
 	t := stats.NewTable("Workload trace characteristics",
 		"workload", "class", "CPI", "footprint", "accesses",
 		"uniq 4K pages", "pages/1K acc", "writes", "allocs", "stack frac")
 	for _, n := range names {
-		w := workload.New(n, workload.Config{Seed: *seed, MemoryMB: *mem, Ops: *ops})
-		var (
-			writes, allocs, stack uint64
-			pages                 = map[uint64]struct{}{}
-		)
-		// Observation-only replay: the trace streams block-wise through
-		// counting hooks, never materialized as a whole.
-		eng := replay.New(w, replay.Hooks{
-			Access: func(ev trace.Event) error {
-				pages[uint64(ev.VA)>>addr.PageShift4K] = struct{}{}
-				if ev.Write {
-					writes++
-				}
-				if uint64(ev.VA) >= workload.StackBase && uint64(ev.VA) < workload.StackBase+workload.StackSize {
-					stack++
-				}
-				return nil
-			},
-			Alloc: func(ev trace.Event) error {
-				allocs++
-				return nil
-			},
-		}, replay.Config{})
-		if err := eng.Run(); err != nil {
-			fmt.Fprintf(os.Stderr, "tracestat: %s: %v\n", n, err)
-			os.Exit(1)
+		if err := characterize(t, n, *seed, *mem, *ops); err != nil {
+			return fmt.Errorf("%s: %w", n, err)
 		}
-		accesses := eng.Counts().Accesses
-		t.AddRow(n, w.Class().String(),
-			fmt.Sprintf("%.2f", w.BaseCPI()),
-			fmt.Sprintf("%dMB", w.PrimaryRegion().Size>>20),
-			fmt.Sprint(accesses),
-			fmt.Sprint(len(pages)),
-			fmt.Sprintf("%.2f", float64(len(pages))/float64(accesses)*1000),
-			stats.Percent(float64(writes)/float64(accesses)),
-			fmt.Sprint(allocs),
-			stats.Percent(float64(stack)/float64(accesses)))
 	}
 	fmt.Print(t.Render())
+	return nil
+}
+
+// characterize streams one workload's trace through counting hooks —
+// observation-only, never materialized as a whole — and appends its row.
+func characterize(t *stats.Table, n string, seed uint64, mem, ops int) error {
+	span := telemetry.StartSpan("cell", n)
+	defer span.End()
+	w := workload.New(n, workload.Config{Seed: seed, MemoryMB: mem, Ops: ops})
+	var (
+		writes, allocs, stack uint64
+		pages                 = map[uint64]struct{}{}
+	)
+	eng := replay.New(w, replay.Hooks{
+		Access: func(ev trace.Event) error {
+			pages[uint64(ev.VA)>>addr.PageShift4K] = struct{}{}
+			if ev.Write {
+				writes++
+			}
+			if uint64(ev.VA) >= workload.StackBase && uint64(ev.VA) < workload.StackBase+workload.StackSize {
+				stack++
+			}
+			return nil
+		},
+		Alloc: func(ev trace.Event) error {
+			allocs++
+			return nil
+		},
+	}, replay.Config{})
+	if err := eng.Run(); err != nil {
+		return err
+	}
+	accesses := eng.Counts().Accesses
+	t.AddRow(n, w.Class().String(),
+		fmt.Sprintf("%.2f", w.BaseCPI()),
+		fmt.Sprintf("%dMB", w.PrimaryRegion().Size>>20),
+		fmt.Sprint(accesses),
+		fmt.Sprint(len(pages)),
+		fmt.Sprintf("%.2f", float64(len(pages))/float64(accesses)*1000),
+		stats.Percent(float64(writes)/float64(accesses)),
+		fmt.Sprint(allocs),
+		stats.Percent(float64(stack)/float64(accesses)))
+	return nil
 }

@@ -12,6 +12,7 @@
 //
 //	vmemsim -workload graph500 -config 4K+VD -scale medium
 //	vmemsim -workload graph500,gups -config 4K,4K+4K,DD -j 4
+//	vmemsim -workload gups -trace run.json -manifest run.manifest.json
 //	vmemsim -list
 package main
 
@@ -22,9 +23,17 @@ import (
 	"strings"
 
 	"vdirect"
+	"vdirect/internal/telemetry"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vmemsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() (retErr error) {
 	var (
 		workloadName = flag.String("workload", "gups", "workload(s) to run, comma-separated (see -list)")
 		config       = flag.String("config", "4K+4K", `configuration label(s), comma-separated: 4K|2M|1G|THP|DS|A+B|A+VD|A+GD|DD`)
@@ -32,29 +41,51 @@ func main() {
 		jobs         = flag.Int("j", 0, "max concurrently simulated cells (0 = GOMAXPROCS); output is identical at any -j")
 		list         = flag.Bool("list", false, "list workloads and exit")
 	)
+	var tf telemetry.Flags
+	tf.Register(flag.CommandLine)
 	flag.Parse()
 
+	if tf.Version {
+		fmt.Println(telemetry.VersionString("vmemsim"))
+		return nil
+	}
 	if *list {
 		for _, n := range vdirect.Workloads() {
 			fmt.Println(n)
 		}
-		return
+		return nil
 	}
 	scale, err := parseScale(*scaleName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	workloads := splitList(*workloadName)
 	configs := splitList(*config)
 	if len(workloads) == 0 {
-		fatal(fmt.Errorf("-workload list is empty (see -list)"))
+		return fmt.Errorf("-workload list is empty (see -list)")
 	}
 	if len(configs) == 0 {
-		fatal(fmt.Errorf("-config list is empty"))
+		return fmt.Errorf("-config list is empty")
 	}
+
+	sess, err := tf.Start("vmemsim", map[string]string{
+		"workload": *workloadName,
+		"config":   *config,
+		"scale":    *scaleName,
+		"j":        fmt.Sprint(*jobs),
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := sess.Close(retErr); retErr == nil {
+			retErr = err
+		}
+	}()
+
 	rows, err := vdirect.RunCells(workloads, configs, scale, *jobs)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	for i, row := range rows {
 		if i > 0 {
@@ -62,6 +93,7 @@ func main() {
 		}
 		printCell(row)
 	}
+	return nil
 }
 
 func splitList(s string) []string {
@@ -105,10 +137,5 @@ func parseScale(s string) (vdirect.Scale, error) {
 	case "full":
 		return vdirect.ScaleFull, nil
 	}
-	return 0, fmt.Errorf("vmemsim: unknown scale %q", s)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "vmemsim:", err)
-	os.Exit(1)
+	return 0, fmt.Errorf("unknown scale %q", s)
 }

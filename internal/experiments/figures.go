@@ -104,6 +104,9 @@ func RunGridOpts(cfg sched.Config, workloads, configs []string, scale Scale, see
 			cells = append(cells, cell{wl, label})
 		}
 	}
+	if cfg.SpanName == nil {
+		cfg.SpanName = func(i int) string { return cells[i].wl + " " + cells[i].label }
+	}
 	return sched.Run(cfg, len(cells), func(i int) (Row, error) {
 		wl, label := cells[i].wl, cells[i].label
 		spec, err := ParseConfig(label)
@@ -193,6 +196,15 @@ func Figure13Opts(cfg sched.Config, scale Scale, trials int, badCounts []int) ([
 			for trial := 0; trial < trials; trial++ {
 				cells = append(cells, cell{wl: wl, bad: n, trial: trial})
 			}
+		}
+	}
+	if cfg.SpanName == nil {
+		cfg.SpanName = func(i int) string {
+			c := cells[i]
+			if c.bad == 0 {
+				return c.wl + " DD clean"
+			}
+			return fmt.Sprintf("%s DD bad=%d trial=%d", c.wl, c.bad, c.trial)
 		}
 	}
 	runs, err := sched.Run(cfg, len(cells), func(i int) (Result, error) {

@@ -13,6 +13,7 @@ import (
 	"vdirect/internal/perfmodel"
 	"vdirect/internal/physmem"
 	"vdirect/internal/replay"
+	"vdirect/internal/telemetry"
 	"vdirect/internal/trace"
 	"vdirect/internal/vmm"
 	"vdirect/internal/workload"
@@ -204,6 +205,20 @@ func replayRun(spec Spec, e *env) (Result, error) {
 	warmupAt := uint64(float64(total) * spec.WarmupFrac)
 	e.w.Reset()
 
+	// Telemetry (all inert when no run is active): a per-cell walk probe
+	// collects every measured walk's refs/cycles into goroutine-local
+	// shards, and the warmup/measure phases each get a trace span. The
+	// probe is reset at the warmup boundary alongside the MMU counters so
+	// the histograms describe exactly the measured interval.
+	var probe *telemetry.WalkProbe
+	if telemetry.Active() {
+		probe = &telemetry.WalkProbe{}
+		e.m.SetWalkProbe(probe)
+	}
+	cellName := spec.Workload + "/" + spec.Label
+	warmSpan := telemetry.StartSpan("replay", cellName+" warmup")
+	var measSpan telemetry.Span
+
 	eng := replay.New(e.w, replay.Hooks{
 		Access: func(ev trace.Event) error {
 			return translate(e, uint64(ev.VA))
@@ -218,11 +233,19 @@ func replayRun(spec Spec, e *env) (Result, error) {
 			}
 			return nil
 		},
-		Warmup: e.m.ResetStats,
+		Warmup: func() {
+			e.m.ResetStats()
+			if probe != nil {
+				probe.Reset()
+			}
+			warmSpan.End()
+			measSpan = telemetry.StartSpan("replay", cellName+" measure")
+		},
 	}, replay.Config{WarmupAccesses: warmupAt})
 	if err := eng.Run(); err != nil {
 		return Result{}, err
 	}
+	measSpan.End()
 
 	measured := eng.Counts().Measured
 	st := e.m.Stats()
@@ -234,6 +257,17 @@ func replayRun(spec Spec, e *env) (Result, error) {
 		WalkCycles:  st.WalkCycles,
 		Overhead:    perfmodel.Overhead(float64(st.WalkCycles), ideal),
 		Stats:       st,
+	}
+	if probe != nil {
+		// One merge (a handful of atomic adds) per completed cell — the
+		// only point where this cell's telemetry touches shared state.
+		reg := telemetry.Default()
+		mode := spec.Mode.String()
+		reg.Histogram("walk.refs." + mode).Merge(&probe.Refs)
+		reg.Histogram("walk.cycles." + mode).Merge(&probe.Cycles)
+		reg.Counter("cells").Inc()
+		reg.Counter("accesses.measured").Add(measured)
+		reg.Counter("tlb.l2.evictions").Add(e.m.L2Evictions())
 	}
 	return res, nil
 }

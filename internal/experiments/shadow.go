@@ -54,6 +54,14 @@ func ShadowStudyOpts(cfg sched.Config, scale Scale, workloads []string) ([]Shado
 	for _, wl := range workloads {
 		cells = append(cells, cell{wl, "4K"}, cell{wl, "4K+VD"}, cell{wl, ""})
 	}
+	if cfg.SpanName == nil {
+		cfg.SpanName = func(i int) string {
+			if cells[i].label == "" {
+				return cells[i].wl + " shadow"
+			}
+			return cells[i].wl + " " + cells[i].label
+		}
+	}
 	runs, err := sched.Run(cfg, len(cells), func(i int) (outcome, error) {
 		c := cells[i]
 		class := workload.New(c.wl, workload.Config{MemoryMB: 1, Ops: 1}).Class()

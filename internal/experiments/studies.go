@@ -286,6 +286,11 @@ func SharingStudyOpts(cfg sched.Config, vmMB uint64, osFrac, zeroFrac float64) (
 			pairs = append(pairs, pair{i, j})
 		}
 	}
+	if cfg.SpanName == nil {
+		cfg.SpanName = func(k int) string {
+			return "share " + wls[pairs[k].i] + "+" + wls[pairs[k].j]
+		}
+	}
 	return sched.Run(cfg, len(pairs), func(k int) (SharingResult, error) {
 		i, j := pairs[k].i, pairs[k].j
 		host := vmm.NewHost(vmMB * 3 << 20)

@@ -26,6 +26,7 @@ import (
 	"vdirect/internal/pagetable"
 	"vdirect/internal/ptecache"
 	"vdirect/internal/segment"
+	"vdirect/internal/telemetry"
 	"vdirect/internal/tlb"
 )
 
@@ -205,6 +206,12 @@ type MMU struct {
 
 	stats Stats
 
+	// probe, when non-nil, receives per-walk memory-reference and cycle
+	// deltas for telemetry histograms. It is single-goroutine state like
+	// the rest of the MMU; nil (the default) keeps pageWalk at one nil
+	// check of overhead.
+	probe *telemetry.WalkProbe
+
 	refBuf []pagetable.Ref // reusable walk buffer
 }
 
@@ -271,6 +278,12 @@ func (m *MMU) Mode() Mode {
 		return ModeBaseVirtualized
 	}
 }
+
+// SetWalkProbe installs (or, with nil, removes) a per-walk telemetry
+// probe. The probe observes each page walk's memory-reference count and
+// cycle cost as deltas of the MMU's own counters, so it cannot drift
+// from the reported statistics.
+func (m *MMU) SetWalkProbe(p *telemetry.WalkProbe) { m.probe = p }
 
 // Stats returns a copy of the accumulated counters.
 func (m *MMU) Stats() Stats { return m.stats }
@@ -439,10 +452,23 @@ func (m *MMU) escapeGuest(va uint64) bool {
 // charging cycles on top of the cost already accumulated.
 func (m *MMU) pageWalk(gva uint64, cycles uint64) (Result, *Fault) {
 	m.stats.Walks++
-	if !m.virtualized {
-		return m.nativeWalk(gva, cycles)
+	if m.probe == nil {
+		if !m.virtualized {
+			return m.nativeWalk(gva, cycles)
+		}
+		return m.nestedWalk2D(gva, cycles)
 	}
-	return m.nestedWalk2D(gva, cycles)
+	refs0, cyc0 := m.stats.WalkMemRefs, m.stats.WalkCycles
+	var res Result
+	var fault *Fault
+	if !m.virtualized {
+		res, fault = m.nativeWalk(gva, cycles)
+	} else {
+		res, fault = m.nestedWalk2D(gva, cycles)
+	}
+	m.probe.Refs.Observe(m.stats.WalkMemRefs - refs0)
+	m.probe.Cycles.Observe(m.stats.WalkCycles - cyc0)
+	return res, fault
 }
 
 // nativeWalk is the 1D walk: up to 4 references through the PTE cache,
@@ -640,3 +666,8 @@ func (m *MMU) insertComposite(gva, hpa uint64, gsize, nsize addr.PageSize) {
 func (m *MMU) L2NestedStats() (lookups, hits, nestedInserts uint64) {
 	return m.l2.Stats()
 }
+
+// L2Evictions reports how many valid entries the shared L2 TLB has
+// replaced — the capacity-pressure signal behind the paper's §IX.A
+// erosion numbers, exported as a telemetry counter by the harness.
+func (m *MMU) L2Evictions() uint64 { return m.l2.Evictions() }

@@ -11,6 +11,7 @@ import (
 
 	"vdirect/internal/experiments"
 	"vdirect/internal/replay"
+	"vdirect/internal/telemetry"
 	"vdirect/internal/trace"
 	"vdirect/internal/workload"
 )
@@ -88,4 +89,40 @@ func BenchmarkCellBlock(b *testing.B) {
 func BenchmarkCellPerEvent(b *testing.B) {
 	spec := workload.Config{Seed: 1, MemoryMB: 64, Ops: 200000}
 	runCell(b, func() workload.Workload { return perEventWorkload{workload.New("gups", spec)} })
+}
+
+// The telemetry overhead pair: the same bare-engine workload with
+// telemetry inactive (the default — the engine's meter pointer stays
+// nil, so the only cost is one nil check per ~4K-event block) and with
+// a run active (one atomic add per block). Enabled must stay within 2%
+// of disabled; EXPERIMENTS.md records the committed numbers.
+func BenchmarkTelemetryOverheadOff(b *testing.B) {
+	if telemetry.Active() {
+		b.Fatal("telemetry unexpectedly active")
+	}
+	runEngine(b, benchWorkload(b))
+}
+
+func BenchmarkTelemetryOverheadOn(b *testing.B) {
+	run := telemetry.StartRun("bench", nil, false)
+	defer run.Stop()
+	runEngine(b, benchWorkload(b))
+}
+
+// The same comparison with a full simulation cell in the loop: with
+// telemetry on, every page walk feeds the cell's WalkProbe shards and
+// each completed cell merges them into the shared registry.
+func BenchmarkTelemetryCellOff(b *testing.B) {
+	if telemetry.Active() {
+		b.Fatal("telemetry unexpectedly active")
+	}
+	spec := workload.Config{Seed: 1, MemoryMB: 64, Ops: 200000}
+	runCell(b, func() workload.Workload { return workload.New("gups", spec) })
+}
+
+func BenchmarkTelemetryCellOn(b *testing.B) {
+	run := telemetry.StartRun("bench", nil, false)
+	defer run.Stop()
+	spec := workload.Config{Seed: 1, MemoryMB: 64, Ops: 200000}
+	runCell(b, func() workload.Workload { return workload.New("gups", spec) })
 }

@@ -16,6 +16,7 @@
 package replay
 
 import (
+	"vdirect/internal/telemetry"
 	"vdirect/internal/trace"
 )
 
@@ -83,6 +84,12 @@ type Engine struct {
 	started   bool
 	exhausted bool
 	counts    Counts
+
+	// meter streams the engine's event count into the telemetry
+	// registry ("replay.events"), one atomic add per refilled block —
+	// never per event. nil when no telemetry run is active, which costs
+	// the hot path nothing beyond this nil check per ~4K events.
+	meter *telemetry.Counter
 }
 
 // New builds an engine over g. The generator should be freshly Reset;
@@ -92,12 +99,16 @@ func New(g trace.Generator, h Hooks, cfg Config) *Engine {
 	if bs <= 0 {
 		bs = DefaultBlockSize
 	}
-	return &Engine{
+	e := &Engine{
 		g:        g,
 		h:        h,
 		buf:      make([]trace.Event, bs),
 		warmupAt: cfg.WarmupAccesses,
 	}
+	if telemetry.Active() {
+		e.meter = telemetry.Default().Counter("replay.events")
+	}
+	return e
 }
 
 // Counts reports progress so far; valid mid-replay (between Steps) and
@@ -185,6 +196,9 @@ func (e *Engine) refill() bool {
 	if e.n == 0 {
 		e.exhausted = true
 		return false
+	}
+	if e.meter != nil {
+		e.meter.Add(uint64(e.n))
 	}
 	return true
 }

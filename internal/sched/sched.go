@@ -11,6 +11,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"vdirect/internal/telemetry"
 )
 
 // Config controls how a Run executes.
@@ -22,9 +24,13 @@ type Config struct {
 	// several Run calls (the sections of a full reproduction submit to
 	// the same Limiter); Parallelism is then ignored.
 	Limiter *Limiter
-	// Tracker, when non-nil, receives cell completion events for
-	// progress reporting.
-	Tracker *Tracker
+	// Progress, when non-nil, receives cell registration and completion
+	// events for live reporting.
+	Progress *telemetry.Progress
+	// SpanName, when non-nil, names the telemetry span wrapped around
+	// cell i. It is only consulted while a telemetry run is active, so
+	// the closure costs nothing otherwise.
+	SpanName func(i int) string
 }
 
 // workers returns the effective worker count for n cells.
@@ -61,46 +67,6 @@ func NewLimiter(parallelism int) *Limiter {
 func (l *Limiter) acquire() { l.slots <- struct{}{} }
 func (l *Limiter) release() { <-l.slots }
 
-// Tracker aggregates progress across every pool sharing it: total grows
-// as Run calls register their cells, done as cells complete. The
-// callback is serialized under the tracker's lock.
-type Tracker struct {
-	mu          sync.Mutex
-	done, total int
-	callback    func(done, total int)
-}
-
-// NewTracker builds a tracker invoking callback on every change.
-func NewTracker(callback func(done, total int)) *Tracker {
-	return &Tracker{callback: callback}
-}
-
-// expect registers n upcoming cells. Safe on a nil tracker.
-func (t *Tracker) expect(n int) {
-	if t == nil {
-		return
-	}
-	t.mu.Lock()
-	t.total += n
-	if t.callback != nil {
-		t.callback(t.done, t.total)
-	}
-	t.mu.Unlock()
-}
-
-// finish records one completed cell. Safe on a nil tracker.
-func (t *Tracker) finish() {
-	if t == nil {
-		return
-	}
-	t.mu.Lock()
-	t.done++
-	if t.callback != nil {
-		t.callback(t.done, t.total)
-	}
-	t.mu.Unlock()
-}
-
 // Run executes fn(i) for every i in [0, n) on a bounded worker pool and
 // returns the results indexed by i — the same order a serial loop would
 // produce. The first error (lowest cell index among those observed)
@@ -111,7 +77,7 @@ func Run[T any](cfg Config, n int, fn func(i int) (T, error)) ([]T, error) {
 	if n == 0 {
 		return results, nil
 	}
-	cfg.Tracker.expect(n)
+	cfg.Progress.Expect(n)
 	var (
 		next     atomic.Int64
 		canceled atomic.Bool
@@ -133,7 +99,15 @@ func Run[T any](cfg Config, n int, fn func(i int) (T, error)) ([]T, error) {
 				if cfg.Limiter != nil {
 					cfg.Limiter.acquire()
 				}
+				// The span brackets the cell's execution, not its wait
+				// for a limiter slot, so trace rows show simulation
+				// time rather than queueing.
+				var span telemetry.Span
+				if cfg.SpanName != nil && telemetry.Active() {
+					span = telemetry.StartSpan("cell", cfg.SpanName(i))
+				}
 				res, err := fn(i)
+				span.End()
 				if cfg.Limiter != nil {
 					cfg.Limiter.release()
 				}
@@ -147,7 +121,7 @@ func Run[T any](cfg Config, n int, fn func(i int) (T, error)) ([]T, error) {
 					return
 				}
 				results[i] = res
-				cfg.Tracker.finish()
+				cfg.Progress.Finish()
 			}
 		}()
 	}

@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"vdirect/internal/telemetry"
 )
 
 func TestRunCollectsInOrder(t *testing.T) {
@@ -98,15 +100,15 @@ func TestSharedLimiterBoundsConcurrency(t *testing.T) {
 	}
 }
 
-func TestTrackerAggregatesAcrossPools(t *testing.T) {
+func TestProgressAggregatesAcrossPools(t *testing.T) {
 	var mu sync.Mutex
 	var lastDone, lastTotal int
-	tr := NewTracker(func(done, total int) {
+	pr := telemetry.NewProgress(func(done, total int) {
 		mu.Lock()
 		lastDone, lastTotal = done, total
 		mu.Unlock()
 	})
-	cfg := Config{Parallelism: 4, Tracker: tr}
+	cfg := Config{Parallelism: 4, Progress: pr}
 	err := Tasks(
 		func() error { _, err := Run(cfg, 10, func(i int) (int, error) { return i, nil }); return err },
 		func() error { _, err := Run(cfg, 15, func(i int) (int, error) { return i, nil }); return err },
@@ -131,11 +133,28 @@ func TestTasksReturnsLowestIndexedError(t *testing.T) {
 	}
 }
 
-func TestNilTrackerSafe(t *testing.T) {
-	var tr *Tracker
-	tr.expect(3)
-	tr.finish()
+func TestNilProgressSafe(t *testing.T) {
+	var pr *telemetry.Progress
+	pr.Expect(3)
+	pr.Finish()
 	if _, err := Run(Config{Parallelism: 2}, 5, func(i int) (int, error) { return i, nil }); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunRecordsCellSpans(t *testing.T) {
+	run := telemetry.StartRun("sched-test", nil, true)
+	defer run.Stop()
+	_, err := Run(Config{Parallelism: 2, SpanName: func(i int) string {
+		return fmt.Sprintf("cell-%d", i)
+	}}, 6, func(i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := run.Tracer().Len(); got != 6 {
+		t.Errorf("traced %d cell spans, want 6", got)
+	}
+	if got := len(run.Timings()); got != 6 {
+		t.Errorf("manifest has %d cell timings, want 6", got)
 	}
 }

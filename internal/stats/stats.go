@@ -52,6 +52,20 @@ func (c *Counters) Merge(o *Counters) {
 	}
 }
 
+// Snapshot returns an independent copy of the counters as a plain map
+// (nil when no counter was ever touched). The telemetry registry uses
+// it as its counter-snapshot representation.
+func (c *Counters) Snapshot() map[string]uint64 {
+	if c.m == nil {
+		return nil
+	}
+	out := make(map[string]uint64, len(c.m))
+	for n, v := range c.m {
+		out[n] = v
+	}
+	return out
+}
+
 func (c *Counters) String() string {
 	var b strings.Builder
 	for _, n := range c.Names() {

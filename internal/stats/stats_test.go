@@ -38,6 +38,41 @@ func TestCounters(t *testing.T) {
 	}
 }
 
+func TestCountersSnapshot(t *testing.T) {
+	var c Counters
+	if s := c.Snapshot(); s != nil {
+		t.Errorf("snapshot of untouched counters = %v, want nil", s)
+	}
+	c.Add("x", 3)
+	s := c.Snapshot()
+	if len(s) != 1 || s["x"] != 3 {
+		t.Fatalf("snapshot = %v", s)
+	}
+	// The copy is independent in both directions.
+	c.Add("x", 1)
+	if s["x"] != 3 {
+		t.Error("snapshot tracked later Add")
+	}
+	s["y"] = 9
+	if c.Get("y") != 0 {
+		t.Error("mutating the snapshot leaked into the counters")
+	}
+}
+
+func TestMergeIntoEmpty(t *testing.T) {
+	var c, d Counters
+	d.Add("x", 2)
+	c.Merge(&d)
+	if c.Get("x") != 2 {
+		t.Errorf("merge into zero-value Counters: x=%d", c.Get("x"))
+	}
+	var e Counters
+	c.Merge(&e) // merging an untouched set is a no-op
+	if c.Get("x") != 2 {
+		t.Error("merging empty set changed values")
+	}
+}
+
 func TestGeoMean(t *testing.T) {
 	if g := GeoMean(nil); g != 0 {
 		t.Errorf("GeoMean(nil) = %g", g)
@@ -109,6 +144,18 @@ func TestSummarize(t *testing.T) {
 	}
 	if !strings.Contains(s.String(), "n=3") {
 		t.Errorf("Summary.String = %q", s.String())
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 || s.CI != 0 {
+		t.Errorf("Summarize(nil) = %+v", s)
+	}
+	if s := Summarize([]float64{5}); s.N != 1 || s.Mean != 5 || s.CI != 0 {
+		t.Errorf("Summarize(single) = %+v", s)
+	}
+	if CI95(nil) != 0 {
+		t.Error("CI95(nil) != 0")
 	}
 }
 

@@ -1,0 +1,124 @@
+// Shared CLI wiring: every cmd binary exposes the same observability
+// flags (-trace, -manifest, -metrics, -version) through Flags, starts a
+// Session after flag parsing, and closes it on exit — including error
+// exits, so a failed run still flushes its trace and writes a manifest
+// recording the failure.
+
+package telemetry
+
+import (
+	"expvar"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Flags bundles the observability flags common to the cmd binaries.
+type Flags struct {
+	Trace    string
+	Manifest string
+	Metrics  string
+	Version  bool
+	// Force starts a telemetry run even when no flag asked for one;
+	// binaries set it for options whose output depends on telemetry
+	// being live (e.g. paperbench -histograms).
+	Force bool
+}
+
+// Register installs the flags on fs (flag.CommandLine in the binaries).
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Trace, "trace", "", "write a Chrome trace-event JSON file of scheduler cells, report sections and replay phases (open in chrome://tracing or ui.perfetto.dev)")
+	fs.StringVar(&f.Manifest, "manifest", "", "write a run-manifest JSON file (config, build info, per-cell timings, metric snapshot) to this path")
+	fs.StringVar(&f.Metrics, "metrics", "", "serve live expvar metrics over HTTP on this address (e.g. :8080; see /debug/vars) for long runs")
+	fs.BoolVar(&f.Version, "version", false, "print build information and exit")
+}
+
+// Enabled reports whether any flag requested telemetry.
+func (f Flags) Enabled() bool {
+	return f.Force || f.Trace != "" || f.Manifest != "" || f.Metrics != ""
+}
+
+// Session is one binary's telemetry lifetime. An inert Session (no
+// telemetry requested) is valid: Close does nothing.
+type Session struct {
+	run   *Run
+	flags Flags
+}
+
+// Start activates telemetry when any flag asked for it and returns the
+// session to Close at exit. config is stamped into the manifest.
+func (f Flags) Start(tool string, config map[string]string) (*Session, error) {
+	if !f.Enabled() {
+		return &Session{}, nil
+	}
+	r := StartRun(tool, config, f.Trace != "")
+	if f.Metrics != "" {
+		addr, err := serveMetrics(f.Metrics)
+		if err != nil {
+			r.Stop()
+			return nil, err
+		}
+		fmt.Printf("%s: serving metrics on http://%s/debug/vars\n", tool, addr)
+	}
+	return &Session{run: r, flags: f}, nil
+}
+
+// Run returns the session's run, nil for an inert session.
+func (s *Session) Run() *Run {
+	if s == nil {
+		return nil
+	}
+	return s.run
+}
+
+// Close flushes the trace file and manifest (recording runErr, if any)
+// and deactivates the run. Safe on nil and inert sessions.
+func (s *Session) Close(runErr error) error {
+	if s == nil || s.run == nil {
+		return nil
+	}
+	defer s.run.Stop()
+	var first error
+	if s.flags.Trace != "" && s.run.tracer != nil {
+		if err := s.run.tracer.WriteFile(s.flags.Trace, s.run.Tool); err != nil {
+			first = err
+		}
+	}
+	if s.flags.Manifest != "" {
+		if err := s.run.WriteManifest(s.flags.Manifest, runErr); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+var expvarOnce sync.Once
+
+// serveMetrics publishes the active run under the expvar key "vdirect"
+// and serves the standard /debug/vars endpoint on addr. The listener
+// lives for the rest of the process — monitoring outlives any one run.
+func serveMetrics(addr string) (string, error) {
+	expvarOnce.Do(func() {
+		expvar.Publish("vdirect", expvar.Func(func() any {
+			r := current.Load()
+			if r == nil {
+				return nil
+			}
+			return struct {
+				Tool     string   `json:"tool"`
+				UptimeMS float64  `json:"uptime_ms"`
+				Metrics  Snapshot `json:"metrics"`
+			}{r.Tool, time.Since(r.StartTime).Seconds() * 1e3, Default().Snapshot()}
+		}))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: metrics listener: %w", err)
+	}
+	// expvar registers /debug/vars on the default mux at init.
+	go http.Serve(ln, nil) //nolint:errcheck // best-effort monitoring endpoint
+	return ln.Addr().String(), nil
+}

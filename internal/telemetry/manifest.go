@@ -1,0 +1,128 @@
+// The run manifest: one JSON document per invocation recording what ran
+// and how — tool, arguments, config, build info, host, wall clock,
+// per-cell/section timings, and the final metric snapshot. Written next
+// to the results so a recorded number can always be traced back to the
+// exact binary and settings that produced it.
+
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+)
+
+// BuildInfo is the binary's identity, read from the Go build metadata
+// stamped at link time (runtime/debug.ReadBuildInfo).
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Path      string `json:"path,omitempty"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	VCSTime   string `json:"vcs_time,omitempty"`
+	Modified  bool   `json:"vcs_modified,omitempty"`
+}
+
+// Build reads the running binary's build info. Fields absent from the
+// build metadata (e.g. VCS stamps in a plain `go test`) are empty.
+func Build() BuildInfo {
+	b := BuildInfo{GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.Path = info.Main.Path
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.time":
+			b.VCSTime = s.Value
+		case "vcs.modified":
+			b.Modified = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// VersionString renders the build info as the one-line output of a
+// -version flag.
+func VersionString(tool string) string {
+	b := Build()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s %s", tool, b.GoVersion)
+	if b.Path != "" {
+		fmt.Fprintf(&sb, " (%s)", b.Path)
+	}
+	if b.Revision != "" {
+		rev := b.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Fprintf(&sb, " rev %s", rev)
+		if b.Modified {
+			sb.WriteString("+dirty")
+		}
+	}
+	return sb.String()
+}
+
+// HostInfo describes the machine the run executed on.
+type HostInfo struct {
+	OS   string `json:"os"`
+	Arch string `json:"arch"`
+	CPUs int    `json:"cpus"`
+}
+
+// Manifest is the serialized run record.
+type Manifest struct {
+	Tool       string            `json:"tool"`
+	Args       []string          `json:"args"`
+	Config     map[string]string `json:"config,omitempty"`
+	Build      BuildInfo         `json:"build"`
+	Host       HostInfo          `json:"host"`
+	Start      time.Time         `json:"start"`
+	DurationMS float64           `json:"duration_ms"`
+	Error      string            `json:"error,omitempty"`
+	Timings    []Timing          `json:"timings,omitempty"`
+	Metrics    Snapshot          `json:"metrics"`
+}
+
+// Manifest assembles the run record as of now. runErr, when non-nil, is
+// recorded so a manifest from a failed run says so.
+func (r *Run) Manifest(runErr error) Manifest {
+	m := Manifest{
+		Tool:   r.Tool,
+		Args:   os.Args[1:],
+		Config: r.Config,
+		Build:  Build(),
+		Host: HostInfo{
+			OS:   runtime.GOOS,
+			Arch: runtime.GOARCH,
+			CPUs: runtime.NumCPU(),
+		},
+		Start:      r.StartTime,
+		DurationMS: time.Since(r.StartTime).Seconds() * 1e3,
+		Timings:    r.Timings(),
+		Metrics:    Default().Snapshot(),
+	}
+	if runErr != nil {
+		m.Error = runErr.Error()
+	}
+	return m
+}
+
+// WriteManifest writes the manifest as indented JSON.
+func (r *Run) WriteManifest(path string, runErr error) error {
+	data, err := json.MarshalIndent(r.Manifest(runErr), "", "  ")
+	if err != nil {
+		return fmt.Errorf("telemetry: encoding manifest: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("telemetry: writing manifest: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+// Span tracing: completed spans accumulate as Chrome trace-event
+// records ("ph":"X" complete events, microsecond timestamps) and are
+// written as one JSON document loadable by chrome://tracing and
+// Perfetto. The thread id is the recording goroutine's id, so each
+// scheduler worker renders as one row and nested spans (cell → replay
+// phases) stack naturally.
+
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// traceEvent is one Chrome trace-event record.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds since trace start
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Tracer collects completed spans for one run.
+type Tracer struct {
+	t0  time.Time
+	pid int
+
+	mu     sync.Mutex
+	events []traceEvent
+}
+
+func newTracer(t0 time.Time) *Tracer {
+	return &Tracer{t0: t0, pid: os.Getpid()}
+}
+
+// add appends one complete event; called from Span.End on any
+// goroutine.
+func (t *Tracer) add(cat, name string, tid uint64, start, end time.Time) {
+	ev := traceEvent{
+		Name: name,
+		Cat:  cat,
+		Ph:   "X",
+		TS:   float64(start.Sub(t.t0).Nanoseconds()) / 1e3,
+		Dur:  float64(end.Sub(start).Nanoseconds()) / 1e3,
+		PID:  t.pid,
+		TID:  tid,
+	}
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Len returns the number of spans recorded so far.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// WriteFile writes the trace as a JSON object with a "traceEvents"
+// array — the format chrome://tracing and ui.perfetto.dev load
+// directly. tool names the process in the viewer.
+func (t *Tracer) WriteFile(path, tool string) error {
+	t.mu.Lock()
+	events := make([]traceEvent, 0, len(t.events)+1)
+	events = append(events, traceEvent{
+		Name: "process_name",
+		Ph:   "M",
+		PID:  t.pid,
+		Args: map[string]any{"name": tool},
+	})
+	events = append(events, t.events...)
+	t.mu.Unlock()
+
+	doc := struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayTimeUnit: "ms"}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		return fmt.Errorf("telemetry: encoding trace: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("telemetry: writing trace: %w", err)
+	}
+	return nil
+}

@@ -64,6 +64,9 @@ type SetAssoc struct {
 	clock   uint64
 	lookups uint64
 	hits    uint64
+	// evictions counts inserts that displaced a different valid entry
+	// (refreshing an entry in place is not an eviction).
+	evictions uint64
 	// curASID tags guest entries with the running process's address-
 	// space identifier (PCID). Guest entries only hit under the ASID
 	// they were inserted with; nested entries are per-VM and ASID-blind.
@@ -142,7 +145,12 @@ func (c *SetAssoc) Insert(e Entry) {
 			victim = i
 		}
 	}
-	set[victim] = slot{valid: true, kind: e.Kind, asid: c.curASID, vpn: e.VPN, ppn: e.PPN, size: e.Size, lru: c.clock}
+	v := &set[victim]
+	if v.valid && !(v.kind == e.Kind && v.vpn == e.VPN &&
+		(e.Kind == KindNested || v.asid == c.curASID)) {
+		c.evictions++
+	}
+	*v = slot{valid: true, kind: e.Kind, asid: c.curASID, vpn: e.VPN, ppn: e.PPN, size: e.Size, lru: c.clock}
 }
 
 // Flush invalidates every entry.
@@ -174,6 +182,10 @@ func (c *SetAssoc) InvalidatePage(kind EntryKind, vpn uint64) {
 
 // Stats returns lifetime lookups and hits.
 func (c *SetAssoc) Stats() (lookups, hits uint64) { return c.lookups, c.hits }
+
+// Evictions returns how many valid entries have been displaced by
+// inserts (capacity/conflict replacements, not in-place refreshes).
+func (c *SetAssoc) Evictions() uint64 { return c.evictions }
 
 // Occupancy returns the number of valid entries (tests and the energy
 // discussion use it).
@@ -338,6 +350,10 @@ func (l *L2) Stats() (lookups, hits, nestedInserts uint64) {
 
 // Occupancy returns valid entries in the shared structure.
 func (l *L2) Occupancy() int { return l.c.Occupancy() }
+
+// Evictions returns how many valid entries the shared structure has
+// displaced — the §IX.A capacity-erosion pressure, directly observable.
+func (l *L2) Evictions() uint64 { return l.c.Evictions() }
 
 // PWC is the set of paging-structure caches (MMU caches) that let the
 // walker skip upper levels: separate small fully-associative caches for

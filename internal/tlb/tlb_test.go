@@ -57,6 +57,42 @@ func TestSetAssocLRUEviction(t *testing.T) {
 	}
 }
 
+func TestSetAssocEvictionCount(t *testing.T) {
+	// 2 sets x 2 ways; VPNs 0,2,4 share set 0.
+	c := NewSetAssoc("t", 4, 2)
+	c.Insert(Entry{Kind: KindGuest, VPN: 0, PPN: 100})
+	c.Insert(Entry{Kind: KindGuest, VPN: 2, PPN: 102})
+	if c.Evictions() != 0 {
+		t.Errorf("evictions after fills = %d, want 0", c.Evictions())
+	}
+	// Refreshing an existing key in place is not an eviction.
+	c.Insert(Entry{Kind: KindGuest, VPN: 0, PPN: 200})
+	if c.Evictions() != 0 {
+		t.Errorf("in-place refresh counted as eviction: %d", c.Evictions())
+	}
+	// Displacing a valid entry of a different key is.
+	c.Insert(Entry{Kind: KindGuest, VPN: 4, PPN: 104})
+	if c.Evictions() != 1 {
+		t.Errorf("evictions = %d, want 1", c.Evictions())
+	}
+	// Nested and guest entries sharing a set: cross-kind displacement
+	// still counts — that is the capacity-erosion signal.
+	c.Insert(Entry{Kind: KindNested, VPN: 0, PPN: 300})
+	if c.Evictions() != 2 {
+		t.Errorf("evictions = %d, want 2", c.Evictions())
+	}
+}
+
+func TestL2EvictionsExposed(t *testing.T) {
+	l2 := NewL2(4, 2)
+	for p := uint64(0); p < 6; p++ {
+		l2.InsertGuest((2*p)<<addr.PageShift4K, p<<addr.PageShift4K) // even VPNs share set 0
+	}
+	if l2.Evictions() == 0 {
+		t.Error("overfilled L2 reported no evictions")
+	}
+}
+
 func TestSetAssocFlushAndInvalidate(t *testing.T) {
 	c := NewSetAssoc("t", 8, 2)
 	c.Insert(Entry{Kind: KindGuest, VPN: 1, PPN: 1})

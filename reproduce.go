@@ -6,6 +6,7 @@ import (
 
 	"vdirect/internal/experiments"
 	"vdirect/internal/sched"
+	"vdirect/internal/telemetry"
 	"vdirect/internal/workload"
 )
 
@@ -149,7 +150,17 @@ func ReproduceAllOpts(scale Scale, opts Options) (Report, error) {
 	}
 	cfg := sched.Config{Limiter: sched.NewLimiter(opts.Parallelism)}
 	if opts.Progress != nil {
-		cfg.Tracker = sched.NewTracker(opts.Progress)
+		cfg.Progress = telemetry.NewProgress(opts.Progress)
+	}
+	// section wraps a report section's task in a telemetry span so the
+	// trace shows one lane per concurrently running section (inert when
+	// no telemetry run is active).
+	section := func(name string, f func() error) func() error {
+		return func() error {
+			span := telemetry.StartSpan("section", name)
+			defer span.End()
+			return f()
+		}
 	}
 
 	var (
@@ -161,25 +172,25 @@ func ReproduceAllOpts(scale Scale, opts Options) (Report, error) {
 		sharing            []experiments.SharingResult
 	)
 	err := sched.Tasks(
-		func() (err error) { fig1, err = experiments.Figure1Opts(cfg, scale); return },
-		func() (err error) { fig11, err = experiments.Figure11Opts(cfg, scale); return },
-		func() (err error) { fig12, err = experiments.Figure12Opts(cfg, scale); return },
-		func() (err error) {
+		section("figure1", func() (err error) { fig1, err = experiments.Figure1Opts(cfg, scale); return }),
+		section("figure11", func() (err error) { fig11, err = experiments.Figure11Opts(cfg, scale); return }),
+		section("figure12", func() (err error) { fig12, err = experiments.Figure12Opts(cfg, scale); return }),
+		section("breakdown", func() (err error) {
 			breakdown, err = experiments.BreakdownOpts(cfg, scale,
 				append([]string{"tlbstress"}, workload.BigMemoryNames()...))
 			return
-		},
-		func() (err error) {
+		}),
+		section("tableIV", func() (err error) {
 			models, err = experiments.TableIVValidationOpts(cfg, scale, workload.BigMemoryNames())
 			return
-		},
-		func() (err error) { points, err = experiments.Figure13Opts(cfg, scale, trials, nil); return },
-		func() (err error) {
+		}),
+		section("figure13", func() (err error) { points, err = experiments.Figure13Opts(cfg, scale, trials, nil); return }),
+		section("shadow", func() (err error) {
 			shadow, err = experiments.ShadowStudyOpts(cfg, scale,
 				append(append([]string{}, workload.BigMemoryNames()...), workload.ComputeNames()...))
 			return
-		},
-		func() (err error) { sharing, err = experiments.SharingStudyOpts(cfg, 128, 0.03, 0.01); return },
+		}),
+		section("sharing", func() (err error) { sharing, err = experiments.SharingStudyOpts(cfg, 128, 0.03, 0.01); return }),
 	)
 	if err != nil {
 		return Report{}, err

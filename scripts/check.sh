@@ -4,6 +4,9 @@
 # shared mutable state between simulation cells is a bug. The replay
 # equivalence suite additionally pins the block streaming path to the
 # per-event shim — byte-identical Result/Stats — before the full tests.
+# The telemetry-overhead bench runs in short mode (3 iterations) as a
+# smoke test that the instrumented hot path still builds and runs; the
+# recorded overhead comparison lives in EXPERIMENTS.md.
 set -eu
 cd "$(dirname "$0")/.."
 unformatted=$(gofmt -l .)
@@ -17,3 +20,4 @@ go vet ./...
 go build ./...
 go test -run Equivalence -race ./internal/replay/...
 go test -race ./...
+go test -run '^$' -bench 'TelemetryOverhead' -benchtime 3x ./internal/replay/
