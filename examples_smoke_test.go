@@ -1,0 +1,53 @@
+package vdirect
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// TestExamplesSmoke builds and runs every binary under examples/,
+// asserting a zero exit status and non-empty output. The examples
+// double as the package's tutorial, so a refactor that breaks their
+// compilation or makes one crash must fail the suite, not wait for a
+// reader to notice. Skipped under -short: each example is a real
+// simulation run.
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples run full simulations; skipped in -short mode")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	sort.Strings(dirs)
+	if len(dirs) == 0 {
+		t.Fatal("no example programs found under examples/")
+	}
+	for _, dir := range dirs {
+		dir := dir
+		t.Run(dir, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(t.TempDir(), dir)
+			build := exec.Command("go", "build", "-o", bin, "./"+filepath.Join("examples", dir))
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("go build: %v\n%s", err, out)
+			}
+			out, err := exec.Command(bin).CombinedOutput()
+			if err != nil {
+				t.Fatalf("run: %v\n%s", err, out)
+			}
+			if len(out) == 0 {
+				t.Fatal("example produced no output")
+			}
+		})
+	}
+}

@@ -152,8 +152,10 @@ type Stats struct {
 	L2Hits   uint64
 	L2Misses uint64
 
-	// ZeroDWalks counts L1 misses resolved purely by the two segment
-	// register sets (Dual Direct's 0D path).
+	// ZeroDWalks counts L1 misses resolved purely by segment register
+	// sets (Dual Direct's two-check 0D path, and the unvirtualized
+	// Direct Segment fast path). Every L1 miss resolves as exactly one
+	// of ZeroDWalks, L2Hits, or Walks.
 	ZeroDWalks uint64
 	// Walks counts invocations of the page-walk state machine.
 	Walks uint64
@@ -412,6 +414,7 @@ func (m *MMU) Translate(gva uint64) (Result, *Fault) {
 		!m.escapeGuest(gva) {
 		cycles += m.cfg.SegmentCheckCycles
 		m.stats.SegmentChecks++
+		m.stats.ZeroDWalks++
 		m.stats.GuestSegHits++
 		m.stats.WalkCycles += cycles
 		pa := m.segs.Guest.Translate(gva)

@@ -1,0 +1,41 @@
+package oracle
+
+import "testing"
+
+// FuzzTranslationDiff is the main differential fuzz target: the input
+// bytes are decoded into a workload of accesses and state mutations
+// (paging churn, segment resize, mode switches, bad-page escapes,
+// ballooning, migration, TLB flushes) applied simultaneously to the
+// production mmu/tlb/ptecache/segment/escape/vmm stack — under two
+// cache geometries — and to the flat reference model. Any translation
+// mismatch, unexpected fault, cost-model violation in the strict
+// configuration, statistics-identity breach, or (flag bit 0) mode
+// monotonicity violation crashes the target.
+//
+// Run a bounded smoke with
+//
+//	go test -fuzz=FuzzTranslationDiff -fuzztime=30s -fuzzminimizetime=10x ./internal/oracle
+//
+// or an open-ended campaign by omitting -fuzztime. The minimize budget
+// matters: one exec costs milliseconds (a full NewHarness plus two MMU
+// stacks per access), so the default 60-second minimization of every
+// new interesting input would dominate a short run.
+func FuzzTranslationDiff(f *testing.F) {
+	for _, seed := range Seeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Bound per-input work: longer streams only repeat states, and
+		// minimization cost scales with input length.
+		if len(data) > 1<<12 {
+			return
+		}
+		h, err := NewHarness()
+		if err != nil {
+			t.Fatalf("building harness: %v", err)
+		}
+		if err := h.Run(data); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

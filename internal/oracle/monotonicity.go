@@ -1,0 +1,146 @@
+// The paper's dimensional ordering as an executable invariant: on the
+// same access trace over the same memory layout, Dual Direct (0D) never
+// references more page-table memory than VMM Direct (1D), which never
+// references more than Base Virtualized (2D). With the strict
+// configuration (no paging-structure caches, no nested TLB) this holds
+// pointwise per access, because the three pipelines keep identical L1
+// contents and the L2's LRU sets satisfy the filtered-stream inclusion
+// property. The checker also asserts the stronger promise behind the
+// whole design: switching modes changes cost, never addresses.
+
+package oracle
+
+import (
+	"fmt"
+
+	"vdirect/internal/addr"
+	"vdirect/internal/mmu"
+	"vdirect/internal/pagetable"
+	"vdirect/internal/physmem"
+	"vdirect/internal/segment"
+)
+
+const (
+	monoGuestSize = 16 << 20
+	monoHostSize  = 32 << 20
+	// primMonoGPA is the fixed gPA backing of the primary region in the
+	// monotonicity stacks; other touched pages are assigned sequential
+	// gPAs from seqMonoGPA.
+	primMonoGPA = 0x10_0000
+	seqMonoGPA  = 0x20_0000
+)
+
+var monoModes = [3]string{"base-virtualized", "vmm-direct", "dual-direct"}
+
+// CheckModeMonotonicity replays vas through three fresh single-mode
+// stacks — Base Virtualized, VMM Direct, Dual Direct — built over an
+// identical physical layout, and asserts per access that the final
+// physical address is mode-independent and that page-table references
+// obey dual ≤ vmm ≤ base. Pages inside the harness primary region are
+// segment-backed in Dual Direct and identically page-mapped in the
+// other two modes; everything else is paged everywhere.
+func CheckModeMonotonicity(vas []uint64) error {
+	gpaOf := make(map[uint64]uint64)
+	var pages []uint64
+	seq := uint64(seqMonoGPA)
+	for _, va := range vas {
+		if va >= 1<<48 {
+			return fmt.Errorf("oracle: va %#x beyond canonical range", va)
+		}
+		p := addr.PageBase(va, addr.Page4K)
+		if _, ok := gpaOf[p]; ok {
+			continue
+		}
+		if p >= PrimBase && p < PrimBase+primPages<<addr.PageShift4K {
+			gpaOf[p] = primMonoGPA + (p - PrimBase)
+		} else {
+			gpaOf[p] = seq
+			seq += addr.PageSize4K
+		}
+		pages = append(pages, p)
+	}
+	if seq > monoGuestSize {
+		return fmt.Errorf("oracle: %d distinct pages exceed the monotonicity stack's memory", len(pages))
+	}
+
+	var stacks [3]*mmu.MMU
+	for i := range stacks {
+		m, err := buildMonoStack(i, pages, gpaOf)
+		if err != nil {
+			return fmt.Errorf("oracle: building %s stack: %w", monoModes[i], err)
+		}
+		stacks[i] = m
+	}
+
+	for _, va := range vas {
+		var hpas, refs [3]uint64
+		for i, m := range stacks {
+			r0 := m.Stats().WalkMemRefs
+			res, fault := m.Translate(va)
+			if fault != nil {
+				return fmt.Errorf("oracle: %s: fault kind %d at %#x for va %#x",
+					monoModes[i], fault.Kind, fault.Addr, va)
+			}
+			hpas[i], refs[i] = res.HPA, m.Stats().WalkMemRefs-r0
+		}
+		if hpas[0] != hpas[1] || hpas[1] != hpas[2] {
+			return fmt.Errorf("oracle: va %#x: mode changes the address: base %#x, vmm-direct %#x, dual %#x",
+				va, hpas[0], hpas[1], hpas[2])
+		}
+		if refs[2] > refs[1] || refs[1] > refs[0] {
+			return fmt.Errorf("oracle: va %#x: refs not monotone: base %d, vmm-direct %d, dual %d",
+				va, refs[0], refs[1], refs[2])
+		}
+	}
+	return nil
+}
+
+// buildMonoStack assembles one single-mode strict stack: mode 0 is Base
+// Virtualized, 1 is VMM Direct, 2 is Dual Direct.
+func buildMonoStack(mode int, pages []uint64, gpaOf map[uint64]uint64) (*mmu.MMU, error) {
+	guestMem := physmem.New(physmem.Config{Name: "mono-guest", Size: monoGuestSize})
+	// Keep page-table node frames clear of the fixed leaf assignments.
+	if err := guestMem.Reserve(addr.Range{Start: primMonoGPA, Size: monoGuestSize - primMonoGPA}); err != nil {
+		return nil, err
+	}
+	hostMem := physmem.New(physmem.Config{Name: "mono-host", Size: monoHostSize})
+	firstFrame, err := hostMem.AllocContiguous(monoGuestSize>>addr.PageShift4K, 1)
+	if err != nil {
+		return nil, err
+	}
+	hostBase := physmem.FrameToAddr(firstFrame)
+
+	npt, err := pagetable.New(hostMem)
+	if err != nil {
+		return nil, err
+	}
+	for gpa := uint64(0); gpa < monoGuestSize; gpa += addr.PageSize4K {
+		if err := npt.Map(gpa, hostBase+gpa, addr.Page4K); err != nil {
+			return nil, err
+		}
+	}
+	gpt, err := pagetable.New(guestMem)
+	if err != nil {
+		return nil, err
+	}
+	dual := mode == 2
+	for _, p := range pages {
+		if dual && p >= PrimBase && p < PrimBase+primPages<<addr.PageShift4K {
+			continue // segment-backed in Dual Direct
+		}
+		if err := gpt.Map(p, gpaOf[p], addr.Page4K); err != nil {
+			return nil, err
+		}
+	}
+
+	m := mmu.New(strictConfig())
+	m.SetGuestPageTable(gpt)
+	m.SetNestedPageTable(npt)
+	if mode >= 1 {
+		m.SetVMMSegment(segment.NewRegisters(0, hostBase, monoGuestSize))
+	}
+	if dual {
+		m.SetGuestSegment(segment.NewRegisters(PrimBase, primMonoGPA, primPages<<addr.PageShift4K))
+	}
+	return m, nil
+}

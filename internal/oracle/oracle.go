@@ -1,0 +1,269 @@
+// Package oracle is the deliberately simple reference implementation of
+// the translation stack that the differential checker and fuzz harness
+// compare the production mmu/tlb/ptecache/segment/escape/vmm stack
+// against.
+//
+// Design rules, in tension with everything else in this repo:
+//
+//   - No caching. Every Translate recomputes from flat per-page maps.
+//   - No concurrency, no shared state, no reused buffers.
+//   - No reuse of production translation code. Segment semantics are
+//     three integer comparisons; page tables are Go maps keyed by 4K
+//     page number; escape filters are exact sets (the Bloom filter's
+//     false positives are a cost artifact, not an architectural one —
+//     see Harness for how the differential checker accounts for them).
+//
+// The oracle also encodes the paper's mode table as a closed form
+// (ExpectWalk): Base Virtualized walks cost gL·(nL+1)+nL references
+// (24 for 4K+4K), VMM/Guest Direct cost 4 (1D), Dual Direct costs 0
+// (0D), with the base-bound check counts of Table IV (Δ_VD = 5,
+// Δ_GD = 1). In a strict configuration — paging-structure caches and
+// nested TLB disabled, equal PTE-cache hit/miss cost — the production
+// MMU must reproduce these numbers exactly, per walk, on every
+// randomized input.
+package oracle
+
+import (
+	"fmt"
+
+	"vdirect/internal/addr"
+)
+
+// Mapping is one reference page mapping at 4K grain: the target page
+// number and the leaf size of the mapping that produced it (a 2M leaf
+// contributes 512 consecutive Mappings that all report Page2M).
+type Mapping struct {
+	Target uint64 // target page number (gPA page for guest, hPA page for nested)
+	Size   addr.PageSize
+}
+
+// Segment is the oracle's independent model of one BASE/LIMIT/OFFSET
+// register set. It deliberately re-states the three comparisons rather
+// than importing segment.Registers' methods, so a bug there cannot
+// propagate here.
+type Segment struct {
+	Base, Limit, Offset uint64
+}
+
+// Enabled reports whether the register set covers any address.
+func (s Segment) Enabled() bool { return s.Limit > s.Base }
+
+// Covers reports the base-bound check BASE <= a < LIMIT.
+func (s Segment) Covers(a uint64) bool { return a >= s.Base && a < s.Limit }
+
+// Translate applies target = a + OFFSET (mod 2^64).
+func (s Segment) Translate(a uint64) uint64 { return a + s.Offset }
+
+// Model is the full reference translation state: two flat page maps,
+// two segment register sets, two exact escape sets, and the
+// virtualization switch. All mutation is explicit; Translate is pure.
+type Model struct {
+	// Virtualized selects two-level translation; when false the guest
+	// dimension's output is the final physical address.
+	Virtualized bool
+	// GuestSeg maps gVA→gPA (or VA→PA native); VMMSeg maps gPA→hPA.
+	GuestSeg, VMMSeg Segment
+	// Guest holds gVA-page → Mapping(gPA page); Nested holds
+	// gPA-page → Mapping(hPA page).
+	Guest, Nested map[uint64]Mapping
+	// EscapedGuest and EscapedVMM are the exact sets of escaped pages
+	// (keyed by source page number of the respective dimension). A
+	// covered page in the set takes the paging path of its dimension.
+	EscapedGuest, EscapedVMM map[uint64]bool
+}
+
+// NewModel builds an empty reference model.
+func NewModel() *Model {
+	return &Model{
+		Guest:        make(map[uint64]Mapping),
+		Nested:       make(map[uint64]Mapping),
+		EscapedGuest: make(map[uint64]bool),
+		EscapedVMM:   make(map[uint64]bool),
+	}
+}
+
+// MapGuest installs a guest-dimension mapping of the given page size:
+// every 4K page of the leaf is entered into the flat map.
+func (m *Model) MapGuest(va, gpa uint64, s addr.PageSize) {
+	pages := s.Bytes() >> addr.PageShift4K
+	vp, gp := va>>addr.PageShift4K, gpa>>addr.PageShift4K
+	for i := uint64(0); i < pages; i++ {
+		m.Guest[vp+i] = Mapping{Target: gp + i, Size: s}
+	}
+}
+
+// UnmapGuest removes the guest mapping covering va (all 4K pages of
+// its leaf size).
+func (m *Model) UnmapGuest(va uint64, s addr.PageSize) {
+	pages := s.Bytes() >> addr.PageShift4K
+	vp := va >> addr.PageShift4K
+	for i := uint64(0); i < pages; i++ {
+		delete(m.Guest, vp+i)
+	}
+}
+
+// MapNested installs a nested-dimension mapping at 4K grain.
+func (m *Model) MapNested(gpa, hpa uint64, s addr.PageSize) {
+	pages := s.Bytes() >> addr.PageShift4K
+	gp, hp := gpa>>addr.PageShift4K, hpa>>addr.PageShift4K
+	for i := uint64(0); i < pages; i++ {
+		m.Nested[gp+i] = Mapping{Target: hp + i, Size: s}
+	}
+}
+
+// UnmapNested removes the nested mapping for one 4K gPA page.
+func (m *Model) UnmapNested(gpa uint64) {
+	delete(m.Nested, gpa>>addr.PageShift4K)
+}
+
+// FaultKind mirrors the two translation dimensions that can fault.
+type FaultKind uint8
+
+// Fault dimensions, matching mmu.FaultGuest / mmu.FaultNested.
+const (
+	FaultNone FaultKind = iota
+	FaultGuest
+	FaultNested
+)
+
+// Prediction is the oracle's verdict for one access.
+type Prediction struct {
+	// HPA is the final physical address (valid when Fault == FaultNone).
+	HPA uint64
+	// Fault is the predicted fault dimension; Addr is the faulting gVA
+	// (FaultGuest) or gPA (FaultNested).
+	Fault FaultKind
+	Addr  uint64
+
+	// GuestCovered / VMMCovered report whether the access resolved its
+	// dimension through a segment (covered, enabled, and not escaped).
+	GuestCovered bool
+	VMMCovered   bool
+	// GuestSize is the leaf size of the guest mapping used (Page4K when
+	// the guest segment translated the address).
+	GuestSize addr.PageSize
+}
+
+// Translate runs one access through the reference model.
+func (m *Model) Translate(va uint64) Prediction {
+	p := Prediction{GuestSize: addr.Page4K}
+
+	// Guest dimension: segment first (enabled, covered, not escaped),
+	// else the flat map.
+	var gpa uint64
+	if m.GuestSeg.Enabled() && m.GuestSeg.Covers(va) && !m.EscapedGuest[va>>addr.PageShift4K] {
+		gpa = m.GuestSeg.Translate(va)
+		p.GuestCovered = true
+	} else {
+		mp, ok := m.Guest[va>>addr.PageShift4K]
+		if !ok {
+			p.Fault, p.Addr = FaultGuest, va
+			return p
+		}
+		gpa = mp.Target<<addr.PageShift4K + va&addr.Page4K.Mask()
+		p.GuestSize = mp.Size
+	}
+	if !m.Virtualized {
+		p.HPA = gpa
+		return p
+	}
+
+	// Nested dimension: VMM segment, else the flat map.
+	hpa, fault := m.TranslateNested(gpa)
+	if fault {
+		p.Fault, p.Addr = FaultNested, gpa
+		return p
+	}
+	p.HPA = hpa
+	p.VMMCovered = m.VMMSeg.Enabled() && m.VMMSeg.Covers(gpa) && !m.EscapedVMM[gpa>>addr.PageShift4K]
+	return p
+}
+
+// TranslateNested resolves one gPA through the reference nested
+// dimension (segment first, then the flat map).
+func (m *Model) TranslateNested(gpa uint64) (hpa uint64, fault bool) {
+	if m.VMMSeg.Enabled() && m.VMMSeg.Covers(gpa) && !m.EscapedVMM[gpa>>addr.PageShift4K] {
+		return m.VMMSeg.Translate(gpa), false
+	}
+	mp, ok := m.Nested[gpa>>addr.PageShift4K]
+	if !ok {
+		return 0, true
+	}
+	return mp.Target<<addr.PageShift4K + gpa&addr.Page4K.Mask(), false
+}
+
+// Levels returns the number of page-walk levels (memory references) a
+// successful walk of a mapping with leaf size s performs: 4K → 4,
+// 2M → 3, 1G → 2.
+func Levels(s addr.PageSize) uint64 {
+	switch s {
+	case addr.Page4K:
+		return 4
+	case addr.Page2M:
+		return 3
+	case addr.Page1G:
+		return 2
+	}
+	panic(fmt.Sprintf("oracle: invalid page size %d", s))
+}
+
+// WalkCost is the closed-form cost of one page-walk invocation in a
+// strict configuration (paging-structure caches and nested TLB
+// disabled, every escape filter clean).
+type WalkCost struct {
+	// Refs is the number of page-table memory references.
+	Refs uint64
+	// Checks is the number of base-bound checks charged.
+	Checks uint64
+}
+
+// Cycles converts the cost to cycles given a uniform PTE-reference
+// cost and the per-check cost Δ.
+func (c WalkCost) Cycles(refCycles, checkCycles uint64) uint64 {
+	return c.Refs*refCycles + c.Checks*checkCycles
+}
+
+// ExpectWalk is the paper's mode table as a closed form: the exact
+// reference and check counts of one page-walk state-machine invocation,
+// given the oracle's view of the access. nestedLevels is the walk depth
+// of the nested dimension's mappings (4 for 4K nested pages).
+//
+// It assumes a strict configuration and that, when the VMM segment is
+// enabled, it covers every guest physical address the walk touches
+// (the §VI.A whole-guest contiguous reservation) — which the harness
+// guarantees by construction. It must not be called for accesses the
+// Dual Direct 0D fast path absorbs (both dimensions covered): those
+// never invoke the walk machine.
+func ExpectWalk(p Prediction, guestSegEnabled, vmmSegEnabled, virtualized bool, nestedLevels uint64) WalkCost {
+	var c WalkCost
+	if !virtualized {
+		// Native / Direct Segment: a walk only happens when the segment
+		// did not translate the address, and the segment check is charged
+		// only on the covered fast path — so an invoked walk costs
+		// exactly the guest levels.
+		c.Refs = Levels(p.GuestSize)
+		return c
+	}
+	// Figure 5(b): the guest base-bound check is charged once per walk
+	// whenever the guest segment is enabled.
+	if guestSegEnabled {
+		c.Checks++
+	}
+	guestRefs := uint64(0)
+	if !p.GuestCovered {
+		guestRefs = Levels(p.GuestSize)
+	}
+	// Each guest page-table reference is a gPA resolved through the
+	// nested dimension first, then the final gPA is resolved: that is
+	// guestRefs+1 nested translations. With the VMM segment enabled and
+	// covering (strict harness invariant), each costs one check and
+	// zero references; otherwise each is a full nested walk.
+	nested := guestRefs + 1
+	if vmmSegEnabled {
+		c.Checks += nested
+	} else {
+		c.Refs += nested * nestedLevels
+	}
+	c.Refs += guestRefs
+	return c
+}

@@ -1,0 +1,128 @@
+// Structured seed inputs for the differential fuzz harness. These are
+// shared between the fuzz target (as f.Add seeds), the deterministic
+// regression tests (every seed must pass in plain `go test`), and the
+// checked-in corpus under testdata/fuzz. Together they cover every
+// opcode and every mode transition, so a translation bug anywhere in
+// the stack is caught by the seed corpus alone, before any fuzzing.
+
+package oracle
+
+// Op stream encoding (see Harness.step): byte 0 is a flag byte (bit 0
+// appends the mode-monotonicity replay), then op bytes dispatched
+// mod 13: 0-5 access(b1,b2), 6 map(b1,b2), 7 unmap(b1,b2), 8 resize(b),
+// 9 toggle VMM segment, 10 toggle virtualization, 11 escape guest
+// page(b), 12 sub-op(b): escape VMM page / balloon / flush.
+const (
+	opAccess      = 0
+	opMap         = 6
+	opUnmap       = 7
+	opResize      = 8
+	opToggleVMM   = 9
+	opToggleVirt  = 10
+	opEscGuest    = 11
+	opSub         = 12
+	subEscVMM     = 0
+	subBalloon    = 1
+	subFlush      = 2
+	flagMonotone  = 1
+	flagPlainOnly = 0
+)
+
+// Seeds returns the structured seed corpus.
+func Seeds() [][]byte {
+	return [][]byte{
+		seedAccessSweep(),
+		seedPagingChurn(),
+		seedModeChurn(),
+		seedEscapeStorm(),
+		seedHugePages(),
+	}
+}
+
+// seedAccessSweep touches all three regions in Dual Direct steady
+// state and replays the trace through the monotonicity checker.
+func seedAccessSweep() []byte {
+	b := []byte{flagMonotone}
+	for i := 0; i < 96; i++ {
+		b = append(b, opAccess, byte(i), byte(i*7))
+	}
+	return b
+}
+
+// seedPagingChurn maps, touches, unmaps and resizes, interleaved with
+// primary-region accesses that demand-page when the segment shrinks.
+func seedPagingChurn() []byte {
+	b := []byte{flagPlainOnly}
+	for i := 0; i < 24; i++ {
+		b = append(b,
+			opMap, byte(i), byte(i*3),
+			opAccess, 2, byte(i*5),
+			opResize, byte(i*11),
+			opAccess, 0, byte(i*13),
+			opUnmap, byte(i), byte(i*3),
+			opSub, subFlush,
+		)
+	}
+	return b
+}
+
+// seedModeChurn walks the machine through every register combination:
+// Dual Direct → Guest Direct → Direct Segment (native) → Base
+// Virtualized → VMM Direct and back, touching memory at each stop.
+func seedModeChurn() []byte {
+	b := []byte{flagPlainOnly}
+	touch := func(k int) {
+		for i := 0; i < 12; i++ {
+			b = append(b, opAccess, byte(i), byte(i*9+k))
+		}
+	}
+	touch(0)
+	b = append(b, opToggleVMM) // Guest Direct
+	touch(1)
+	b = append(b, opToggleVirt) // native Direct Segment
+	touch(2)
+	b = append(b, opResize, 0) // native paging
+	touch(3)
+	b = append(b, opToggleVirt) // Base Virtualized
+	touch(4)
+	b = append(b, opToggleVMM) // VMM Direct
+	touch(5)
+	b = append(b, opResize, 255) // back toward Dual Direct
+	touch(6)
+	return b
+}
+
+// seedEscapeStorm dirties both escape filters (bad guest pages, bad
+// host pages, ballooning) and keeps touching the affected regions.
+func seedEscapeStorm() []byte {
+	b := []byte{flagPlainOnly}
+	for i := 0; i < 16; i++ {
+		b = append(b,
+			opEscGuest, byte(i*17),
+			opAccess, 0, byte(i*17),
+			opSub, subEscVMM, byte(i), byte(i*29),
+			opAccess, 1, byte(i*31),
+			opSub, subBalloon,
+			opAccess, 2, byte(i*37),
+		)
+	}
+	return b
+}
+
+// seedHugePages maps and unmaps the 2M slots around accesses, in both
+// virtualized and native translation.
+func seedHugePages() []byte {
+	b := []byte{flagMonotone}
+	for i := 0; i < 8; i++ {
+		b = append(b,
+			opMap, 0x80, byte(i),
+			opAccess, 3, byte(i*41),
+			opAccess, 7, byte(i*43),
+			opToggleVirt,
+			opAccess, 3, byte(i*47),
+			opToggleVirt,
+			opUnmap, 0x80, byte(i),
+		)
+	}
+	return b
+}

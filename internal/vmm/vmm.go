@@ -89,9 +89,13 @@ type VM struct {
 	cfg VMConfig
 	// vmmSeg holds the VM's BASE_V/LIMIT_V/OFFSET_V when enabled.
 	vmmSeg segment.Registers
-	// contig records the host base when backing is one contiguous run.
-	contig   bool
-	hostBase uint64
+	// contig records the host base when backing is one contiguous run;
+	// contigSize is how much of guest physical memory that run covers
+	// (memory hotplugged after the boot-time reservation is backed by
+	// scattered frames and must stay outside the VMM segment, §VI.C).
+	contig     bool
+	hostBase   uint64
+	contigSize uint64
 	// content maps a gPA page to its content hash (page-sharing model).
 	content map[uint64]uint64
 	// sharedFrames marks host frames mapped copy-on-write into this VM.
@@ -174,6 +178,7 @@ func (vm *VM) backContiguous() error {
 	}
 	vm.hostBase = physmem.FrameToAddr(first)
 	vm.contig = true
+	vm.contigSize = vm.GuestMem.Size()
 	return vm.mapBacking(0, vm.GuestMem.Size(), func(gpa uint64) uint64 {
 		return vm.hostBase + gpa
 	})
@@ -248,7 +253,10 @@ func (vm *VM) VMMSegment() segment.Registers { return vm.vmmSeg }
 // transition.
 func (vm *VM) TryEnableVMMSegment() (segment.Registers, error) {
 	if vm.contig {
-		vm.vmmSeg = segment.NewRegisters(0, vm.hostBase, vm.GuestMem.Size())
+		// Cover only the linearly backed boot-time reservation: memory
+		// hotplugged afterwards is backed by scattered frames and must
+		// keep taking the nested paging path.
+		vm.vmmSeg = segment.NewRegisters(0, vm.hostBase, vm.contigSize)
 		return vm.vmmSeg, nil
 	}
 	// Attempt relocation into a single free run (the slow path after
@@ -284,6 +292,7 @@ func (vm *VM) TryEnableVMMSegment() (segment.Registers, error) {
 	}
 	vm.hostBase = newBase
 	vm.contig = true
+	vm.contigSize = vm.GuestMem.Size()
 	vm.vmmSeg = segment.NewRegisters(0, newBase, vm.GuestMem.Size())
 	return vm.vmmSeg, nil
 }

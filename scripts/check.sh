@@ -7,6 +7,11 @@
 # The telemetry-overhead bench runs in short mode (3 iterations) as a
 # smoke test that the instrumented hot path still builds and runs; the
 # recorded overhead comparison lives in EXPERIMENTS.md.
+# The differential-oracle seeds (and the minimized fuzz corpora under
+# testdata/) run first: any translation or walk-cost divergence between
+# the production stack and internal/oracle's reference model fails fast,
+# before the long suites. covergate.sh then holds the translation-
+# critical packages to their recorded statement-coverage floors.
 set -eu
 cd "$(dirname "$0")/.."
 unformatted=$(gofmt -l .)
@@ -18,6 +23,8 @@ fi
 set -x
 go vet ./...
 go build ./...
+go test -race ./internal/oracle/...
 go test -run Equivalence -race ./internal/replay/...
 go test -race ./...
 go test -run '^$' -bench 'TelemetryOverhead' -benchtime 3x ./internal/replay/
+sh scripts/covergate.sh
