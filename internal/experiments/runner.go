@@ -220,8 +220,8 @@ func replayRun(spec Spec, e *env) (Result, error) {
 	var measSpan telemetry.Span
 
 	eng := replay.New(e.w, replay.Hooks{
-		Access: func(ev trace.Event) error {
-			return translate(e, uint64(ev.VA))
+		AccessBlock: func(evs []trace.Event) (int, error) {
+			return translateBlock(e, evs)
 		},
 		Free: func(ev trace.Event) error {
 			r := addr.Range{Start: uint64(ev.VA), Size: ev.Size}
@@ -288,4 +288,32 @@ func translate(e *env, va uint64) error {
 		}
 	}
 	return fmt.Errorf("experiments: access at %#x still faulting after service", va)
+}
+
+// translateBlock is the batch form of translate: one MMU.TranslateBlock
+// call per fault-free run, with the same demand-paging protocol per
+// faulting event (service and retry, up to 3 attempts — each attempt
+// re-counting the access, exactly as the per-event retry loop did).
+func translateBlock(e *env, evs []trace.Event) (int, error) {
+	done, attempt := 0, 0
+	for {
+		n, fault := e.m.TranslateBlock(evs[done:], nil)
+		done += n
+		if fault == nil {
+			return done, nil
+		}
+		if n > 0 {
+			attempt = 0 // a new event is faulting
+		}
+		attempt++
+		if fault.Kind != mmu.FaultGuest {
+			return done, fmt.Errorf("experiments: unexpected nested fault at gPA %#x", fault.Addr)
+		}
+		if err := e.proc.HandleFault(fault.Addr); err != nil {
+			return done, fmt.Errorf("experiments: fault at %#x: %w", fault.Addr, err)
+		}
+		if attempt >= 3 {
+			return done, fmt.Errorf("experiments: access at %#x still faulting after service", uint64(evs[done].VA))
+		}
+	}
 }

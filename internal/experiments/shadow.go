@@ -175,26 +175,32 @@ func runShadow(wl string, wlCfg workload.Config) (shadowOutcome, error) {
 	// cost, excluded from the steady-state measurement.
 	var exitsAtWarmup uint64
 	eng := replay.New(w, replay.Hooks{
-		Access: func(ev trace.Event) error {
-			va := uint64(ev.VA)
-			for attempt := 0; ; attempt++ {
-				if attempt > 3 {
-					return fmt.Errorf("experiments: shadow access at %#x stuck", va)
-				}
-				_, fault := m.Translate(va)
+		AccessBlock: func(evs []trace.Event) (int, error) {
+			done, attempt := 0, 0
+			for {
+				n, fault := m.TranslateBlock(evs[done:], nil)
+				done += n
 				if fault == nil {
-					return nil
+					return done, nil
 				}
+				if n > 0 {
+					attempt = 0 // a new event is faulting
+				}
+				attempt++
 				// One VM exit handles the whole fault: the VMM fields
 				// the guest fault, updates the guest PT if needed, and
 				// syncs the shadow entry.
+				va := uint64(evs[done].VA)
 				if _, _, mapped := proc.PT.Translate(va); !mapped {
 					if err := proc.HandleFault(va); err != nil {
-						return err
+						return done, err
 					}
 				}
 				if err := sh.SyncPage(proc.PT, va); err != nil {
-					return err
+					return done, err
+				}
+				if attempt >= 4 {
+					return done, fmt.Errorf("experiments: shadow access at %#x stuck", va)
 				}
 			}
 		},

@@ -1,0 +1,322 @@
+package mmu
+
+import (
+	"testing"
+
+	"vdirect/internal/addr"
+	"vdirect/internal/segment"
+	"vdirect/internal/trace"
+)
+
+// accessEvents wraps a VA sequence as Access trace events.
+func accessEvents(vas []uint64) []trace.Event {
+	evs := make([]trace.Event, len(vas))
+	for i, va := range vas {
+		evs[i] = trace.Event{Kind: trace.Access, VA: addr.GVA(va)}
+	}
+	return evs
+}
+
+// blockTestVAs builds a sequence with same-page repeats (last-page-cache
+// hits), cross-page locality (L1 hits), cold pages (walks), and pages
+// that are initially unmapped (faults mid-block).
+func blockTestVAs(mappedPages, holeEvery int) []uint64 {
+	var vas []uint64
+	for i := 0; i < 400; i++ {
+		p := uint64(i % mappedPages)
+		vas = append(vas,
+			0x400000+p<<12+uint64(i)%4096,
+			0x400000+p<<12+uint64(i*7)%4096, // same page: last-page hit
+			0x400000+uint64((i*13)%mappedPages)<<12,
+		)
+		if holeEvery > 0 && i%holeEvery == 0 {
+			vas = append(vas, 0x900000+uint64(i/holeEvery)<<12) // unmapped
+		}
+	}
+	return vas
+}
+
+// runPerEvent drives vas through Translate one at a time, servicing
+// guest faults by mapping the page, exactly as the replay drivers do.
+func runPerEvent(t *testing.T, e *env, vas []uint64) []Result {
+	t.Helper()
+	out := make([]Result, 0, len(vas))
+	for _, va := range vas {
+		for attempt := 0; ; attempt++ {
+			res, fault := e.m.Translate(va)
+			if fault == nil {
+				out = append(out, res)
+				break
+			}
+			if attempt >= 2 {
+				t.Fatalf("va %#x still faulting", va)
+			}
+			serviceFault(t, e, fault)
+		}
+	}
+	return out
+}
+
+// serviceFault demand-maps the faulting page at a gPA derived from the
+// VA, so both the per-event and block runs service identically.
+func serviceFault(t *testing.T, e *env, fault *Fault) {
+	t.Helper()
+	if fault.Kind != FaultGuest {
+		t.Fatalf("unexpected nested fault at %#x", fault.Addr)
+	}
+	page := addr.PageBase(fault.Addr, addr.Page4K)
+	gpa := 0x200000 + (page>>12)%0x400<<12 // deterministic, collision-free for the test VAs
+	if err := e.gPT.Map(page, gpa, addr.Page4K); err != nil {
+		t.Fatalf("servicing fault at %#x: %v", page, err)
+	}
+}
+
+// runBlock drives vas through TranslateBlock with the same fault
+// protocol, resuming from the faulting index.
+func runBlock(t *testing.T, e *env, vas []uint64, out []Result) int {
+	t.Helper()
+	evs := accessEvents(vas)
+	done := 0
+	for done < len(evs) {
+		var sub []Result
+		if out != nil {
+			sub = out[done:]
+		}
+		n, fault := e.m.TranslateBlock(evs[done:], sub)
+		done += n
+		if fault == nil {
+			break
+		}
+		serviceFault(t, e, fault)
+	}
+	return done
+}
+
+// TestTranslateBlockMatchesPerEvent drives the same trace — with
+// same-page repeats, TLB-hit locality, cold walks and mid-block demand-
+// paging faults — through per-event Translate on one stack and
+// TranslateBlock on an identical one, and requires identical end-to-end
+// statistics and identical per-access results. This is the contract the
+// replay engine's batch hook depends on: batching must be invisible in
+// every counter.
+func TestTranslateBlockMatchesPerEvent(t *testing.T) {
+	for _, cfg := range []struct {
+		name string
+		c    Config
+	}{
+		{"default", Config{}},
+		{"cold", coldConfig()},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			vas := blockTestVAs(24, 17)
+
+			ePer := newEnv(t, 16, cfg.c)
+			ePer.mapGuest(t, 0x400000, 0x800000, 24)
+			perResults := runPerEvent(t, ePer, vas)
+
+			eBlk := newEnv(t, 16, cfg.c)
+			eBlk.mapGuest(t, 0x400000, 0x800000, 24)
+			blkResults := make([]Result, len(vas))
+			done := runBlock(t, eBlk, vas, blkResults)
+
+			if done != len(vas) {
+				t.Fatalf("block run completed %d of %d events", done, len(vas))
+			}
+			if ePer.m.Stats() != eBlk.m.Stats() {
+				t.Errorf("stats diverge:\nper-event: %+v\nblock:     %+v", ePer.m.Stats(), eBlk.m.Stats())
+			}
+			for i := range perResults {
+				if perResults[i] != blkResults[i] {
+					t.Fatalf("result %d diverges: per-event %+v, block %+v", i, perResults[i], blkResults[i])
+				}
+			}
+		})
+	}
+}
+
+// TestTranslateBlockNilOut pins that a nil out buffer is legal (the
+// figure runner's path) and translates identically to a buffered run.
+func TestTranslateBlockNilOut(t *testing.T) {
+	vas := blockTestVAs(8, 0)
+	a := newEnv(t, 16, Config{})
+	a.mapGuest(t, 0x400000, 0x800000, 8)
+	runBlock(t, a, vas, nil)
+
+	b := newEnv(t, 16, Config{})
+	b.mapGuest(t, 0x400000, 0x800000, 8)
+	runBlock(t, b, vas, make([]Result, len(vas)))
+
+	if a.m.Stats() != b.m.Stats() {
+		t.Errorf("nil-out stats diverge from buffered run:\n%+v\n%+v", a.m.Stats(), b.m.Stats())
+	}
+}
+
+// TestTranslateBlockFaultIndex pins the fault contract: the return
+// value names the faulting event, events before it are fully counted,
+// the faulting access itself is counted (as per-event Translate counts
+// it), and the run resumes cleanly from that index after service.
+func TestTranslateBlockFaultIndex(t *testing.T) {
+	e := newEnv(t, 16, Config{})
+	e.mapGuest(t, 0x400000, 0x800000, 4)
+	vas := []uint64{0x400100, 0x401200, 0x402300, 0x700000, 0x403400}
+	evs := accessEvents(vas)
+
+	n, fault := e.m.TranslateBlock(evs, nil)
+	if fault == nil || n != 3 {
+		t.Fatalf("TranslateBlock = (%d, %v), want (3, guest fault)", n, fault)
+	}
+	if fault.Kind != FaultGuest || fault.Addr != 0x700000 {
+		t.Fatalf("fault = %+v", fault)
+	}
+	st := e.m.Stats()
+	// Three completed accesses plus the faulting one, exactly like four
+	// per-event Translate calls.
+	if st.Accesses != 4 || st.GuestFaults != 1 {
+		t.Errorf("stats after fault: %+v", st)
+	}
+
+	serviceFault(t, e, fault)
+	n, fault = e.m.TranslateBlock(evs[3:], nil)
+	if fault != nil || n != 2 {
+		t.Fatalf("resume = (%d, %v), want (2, nil)", n, fault)
+	}
+	if st := e.m.Stats(); st.Accesses != 6 {
+		t.Errorf("accesses after resume = %d, want 6", st.Accesses)
+	}
+}
+
+// TestTranslateBlockEmpty pins the trivial boundary.
+func TestTranslateBlockEmpty(t *testing.T) {
+	e := newEnv(t, 16, Config{})
+	if n, fault := e.m.TranslateBlock(nil, nil); n != 0 || fault != nil {
+		t.Fatalf("TranslateBlock(nil) = (%d, %v)", n, fault)
+	}
+	if st := e.m.Stats(); st.Accesses != 0 {
+		t.Errorf("empty block counted accesses: %+v", st)
+	}
+}
+
+// TestLastPageCacheDropsOnMutation guards the one-entry last-page
+// cache: every operation that can change what a VA translates to must
+// drop it, or a repeat access would short-circuit to a stale hPA
+// without consulting the (correctly invalidated) TLBs. Each case
+// mutates the mapping under a just-translated page and requires the
+// next access to re-walk and see the new backing.
+func TestLastPageCacheDropsOnMutation(t *testing.T) {
+	const va = 0x400123
+	page := addr.PageBase(va, addr.Page4K)
+
+	remap := func(t *testing.T, e *env, gpa uint64) {
+		t.Helper()
+		if err := e.gPT.Remap(page, gpa); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		name string
+		// mutate changes page's backing to gpa and performs the
+		// corresponding hardware invalidation.
+		mutate func(t *testing.T, e *env, gpa uint64)
+	}{
+		{"InvalidatePage", func(t *testing.T, e *env, gpa uint64) {
+			remap(t, e, gpa)
+			e.m.InvalidatePage(va, addr.Page4K)
+		}},
+		{"FlushTLBs", func(t *testing.T, e *env, gpa uint64) {
+			remap(t, e, gpa)
+			e.m.FlushTLBs()
+		}},
+		{"InvalidateNested", func(t *testing.T, e *env, gpa uint64) {
+			remap(t, e, gpa)
+			e.m.InvalidateNested()
+		}},
+		{"ContextSwitch", func(t *testing.T, e *env, gpa uint64) {
+			remap(t, e, gpa)
+			e.m.ContextSwitch(e.gPT, segment.Disabled())
+		}},
+		{"ContextSwitchASID", func(t *testing.T, e *env, gpa uint64) {
+			remap(t, e, gpa)
+			// A fresh ASID retags the TLBs; the last-page cache has no
+			// tag, so it must drop or it would leak across processes.
+			e.m.ContextSwitchASID(e.gPT, segment.Disabled(), 7)
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			e := newEnv(t, 16, Config{})
+			e.mapGuest(t, page, 0x800000, 1)
+			// Two accesses: the second is served by the last-page cache.
+			if _, fault := e.m.Translate(va); fault != nil {
+				t.Fatal(fault)
+			}
+			if _, fault := e.m.Translate(va); fault != nil {
+				t.Fatal(fault)
+			}
+			st := e.m.Stats()
+			if st.L1Hits != 1 || st.Walks != 1 {
+				t.Fatalf("warm-up stats: %+v", st)
+			}
+
+			c.mutate(t, e, 0x900000)
+			res, fault := e.m.Translate(va)
+			if fault != nil {
+				t.Fatal(fault)
+			}
+			want := e.hostBase + 0x900000 + (va - page)
+			if res.HPA != want {
+				t.Errorf("post-mutation hPA = %#x, want %#x (stale last-page entry?)", res.HPA, want)
+			}
+			if st := e.m.Stats(); st.Walks != 2 {
+				t.Errorf("post-mutation walks = %d, want 2 (access served from a stale cache)", st.Walks)
+			}
+		})
+	}
+}
+
+// TestLastPageCacheDropsOnBlockFault pins the restore path: a fault
+// mid-block must leave the last-page cache exactly as the completed
+// prefix left it — in particular it must not leak the pre-block state
+// forward after the prefix inserted newer translations.
+func TestLastPageCacheDropsOnBlockFault(t *testing.T) {
+	e := newEnv(t, 16, Config{})
+	e.mapGuest(t, 0x400000, 0x800000, 2)
+	evs := accessEvents([]uint64{0x400000, 0x401000, 0x700000})
+	n, fault := e.m.TranslateBlock(evs, nil)
+	if fault == nil || n != 2 {
+		t.Fatalf("TranslateBlock = (%d, %v)", n, fault)
+	}
+	// The last successful translation was 0x401000; a repeat access must
+	// be an L1 hit on it with the correct backing.
+	res, fault2 := e.m.Translate(0x401080)
+	if fault2 != nil {
+		t.Fatal(fault2)
+	}
+	if want := e.hostBase + 0x801080; res.HPA != want || !res.L1Hit {
+		t.Errorf("post-fault repeat = %+v, want L1 hit at %#x", res, want)
+	}
+}
+
+// TestL2SharedStatsAccessors covers the §IX.A accessors the telemetry
+// harness exports.
+func TestL2SharedStatsAccessors(t *testing.T) {
+	e := newEnv(t, 16, Config{})
+	e.mapGuest(t, 0x400000, 0x800000, 4)
+	for p := uint64(0); p < 4; p++ {
+		if _, fault := e.m.Translate(0x400000 + p<<12); fault != nil {
+			t.Fatal(fault)
+		}
+	}
+	lookups, hits, nestedInserts := e.m.L2NestedStats()
+	if lookups == 0 {
+		t.Error("no shared-L2 lookups recorded")
+	}
+	if hits > lookups {
+		t.Errorf("L2 hits %d > lookups %d", hits, lookups)
+	}
+	if nestedInserts == 0 {
+		t.Error("2D walks inserted no nested entries")
+	}
+	if ev := e.m.L2Evictions(); ev != 0 {
+		t.Errorf("4 translations evicted %d entries from a 512-entry L2", ev)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"vdirect/internal/segment"
 	"vdirect/internal/telemetry"
 	"vdirect/internal/tlb"
+	"vdirect/internal/trace"
 )
 
 // Mode names the register configurations, for reporting.
@@ -214,7 +215,20 @@ type MMU struct {
 	// check of overhead.
 	probe *telemetry.WalkProbe
 
-	refBuf []pagetable.Ref // reusable walk buffer
+	refBuf  []pagetable.Ref // reusable guest-walk buffer
+	nrefBuf []pagetable.Ref // reusable nested-walk buffer
+
+	// One-entry last-page cache in front of the L1: the 4K page of the
+	// most recent successful translation. A hit here is exactly the set
+	// of accesses whose immediate predecessor touched the same 4K page —
+	// the previous translation inserted (or refreshed) a covering L1
+	// entry and nothing ran in between, so the real L1 would hit too and
+	// the entry is already MRU in its set. Skipping the probe therefore
+	// changes no stats and no replacement decision; every TLB-mutating
+	// operation drops the entry.
+	lastValid bool
+	lastVBase uint64 // 4K-aligned gVA
+	lastHBase uint64 // 4K-aligned hPA
 }
 
 // New builds an MMU with the given hardware configuration.
@@ -233,20 +247,30 @@ func New(cfg Config) *MMU {
 }
 
 // SetGuestPageTable installs the active first-dimension page table.
-func (m *MMU) SetGuestPageTable(t *pagetable.Table) { m.gPT = t }
+func (m *MMU) SetGuestPageTable(t *pagetable.Table) {
+	m.gPT = t
+	m.lastValid = false
+}
 
 // SetNestedPageTable installs the second-dimension table and enables
 // virtualized (two-level) translation. Passing nil returns to native.
 func (m *MMU) SetNestedPageTable(t *pagetable.Table) {
 	m.nPT = t
 	m.virtualized = t != nil
+	m.lastValid = false
 }
 
 // SetGuestSegment programs BASE_G/LIMIT_G/OFFSET_G.
-func (m *MMU) SetGuestSegment(r segment.Registers) { m.segs.Guest = r }
+func (m *MMU) SetGuestSegment(r segment.Registers) {
+	m.segs.Guest = r
+	m.lastValid = false
+}
 
 // SetVMMSegment programs BASE_V/LIMIT_V/OFFSET_V.
-func (m *MMU) SetVMMSegment(r segment.Registers) { m.segs.VMM = r }
+func (m *MMU) SetVMMSegment(r segment.Registers) {
+	m.segs.VMM = r
+	m.lastValid = false
+}
 
 // GuestSegment returns the current guest segment registers.
 func (m *MMU) GuestSegment() segment.Registers { return m.segs.Guest }
@@ -296,6 +320,7 @@ func (m *MMU) ResetStats() { m.stats = Stats{} }
 // FlushTLBs empties all translation caches, as a full CR3 write +
 // nested invalidation would.
 func (m *MMU) FlushTLBs() {
+	m.lastValid = false
 	m.l1.Flush()
 	m.l2.Flush()
 	m.pwc.Flush()
@@ -305,6 +330,7 @@ func (m *MMU) FlushTLBs() {
 // ContextSwitch models a guest process switch: the guest page table and
 // guest segment registers change; guest-visible translations flush.
 func (m *MMU) ContextSwitch(gpt *pagetable.Table, guestSeg segment.Registers) {
+	m.lastValid = false
 	m.gPT = gpt
 	m.segs.Guest = guestSeg
 	m.l1.Flush()
@@ -319,6 +345,7 @@ func (m *MMU) ContextSwitch(gpt *pagetable.Table, guestSeg segment.Registers) {
 // is the tagged-TLB extension.) Nested entries are per-VM and survive
 // regardless.
 func (m *MMU) ContextSwitchASID(gpt *pagetable.Table, guestSeg segment.Registers, asid uint16) {
+	m.lastValid = false
 	m.gPT = gpt
 	m.segs.Guest = guestSeg
 	m.l1.SetASID(asid)
@@ -336,6 +363,7 @@ func (m *MMU) ContextSwitchASID(gpt *pagetable.Table, guestSeg segment.Registers
 // stale PSC entry cannot produce a wrong translation, merely a slightly
 // optimistic cost for one walk.
 func (m *MMU) InvalidatePage(gva uint64, s addr.PageSize) {
+	m.lastValid = false
 	base := addr.PageBase(gva, s)
 	for off := uint64(0); off < s.Bytes(); off += addr.PageSize4K {
 		m.l1.Invalidate(base + off)
@@ -346,6 +374,7 @@ func (m *MMU) InvalidatePage(gva uint64, s addr.PageSize) {
 // InvalidateNested models a nested-page-table change (VMM remap): all
 // composite and nested translations derived from the nPT are stale.
 func (m *MMU) InvalidateNested() {
+	m.lastValid = false
 	m.l1.Flush()
 	m.l2.Flush()
 	m.pwc.Flush()
@@ -366,13 +395,87 @@ type Result struct {
 func (m *MMU) Translate(gva uint64) (Result, *Fault) {
 	m.stats.Accesses++
 
+	// Last-page cache: a repeat access to the previous 4K page is by
+	// construction an L1 hit (see the field comment) and short-circuits
+	// the three-structure probe.
+	vbase := gva &^ (addr.PageSize4K - 1)
+	if m.lastValid && vbase == m.lastVBase {
+		m.stats.L1Hits++
+		return Result{HPA: m.lastHBase + (gva - vbase), L1Hit: true}, nil
+	}
+
 	// L1 TLB lookup (all sizes in parallel).
 	if hpa, _, hit := m.l1.Lookup(gva); hit {
 		m.stats.L1Hits++
+		m.lastValid, m.lastVBase, m.lastHBase = true, vbase, hpa&^(addr.PageSize4K-1)
 		return Result{HPA: hpa, L1Hit: true}, nil
 	}
 	m.stats.L1Misses++
 
+	res, fault := m.translateMiss(gva)
+	if fault != nil {
+		return Result{}, fault
+	}
+	m.lastValid, m.lastVBase, m.lastHBase = true, vbase, res.HPA&^(addr.PageSize4K-1)
+	return res, nil
+}
+
+// TranslateBlock translates a block of access events in one call,
+// writing per-event results into out when it is non-nil (out must then
+// be at least len(evs) long). It returns the number of events completed;
+// on a fault, that is the faulting event's index and the caller services
+// the fault and resumes from there. Accesses/L1Hits accumulate in locals
+// and flush at block end (or before any slow-path entry), so Stats read
+// outside TranslateBlock are identical to per-event Translate calls —
+// this is the tight loop behind the replay engine's AccessBlock hook.
+func (m *MMU) TranslateBlock(evs []trace.Event, out []Result) (int, *Fault) {
+	var accesses, l1Hits uint64
+	lastValid, lastVBase, lastHBase := m.lastValid, m.lastVBase, m.lastHBase
+	for i := range evs {
+		gva := uint64(evs[i].VA)
+		accesses++
+		vbase := gva &^ (addr.PageSize4K - 1)
+		if lastValid && vbase == lastVBase {
+			l1Hits++
+			if out != nil {
+				out[i] = Result{HPA: lastHBase + (gva - vbase), L1Hit: true}
+			}
+			continue
+		}
+		if hpa, _, hit := m.l1.Lookup(gva); hit {
+			l1Hits++
+			lastValid, lastVBase, lastHBase = true, vbase, hpa&^(addr.PageSize4K-1)
+			if out != nil {
+				out[i] = Result{HPA: hpa, L1Hit: true}
+			}
+			continue
+		}
+		// Slow path: flush the local counters first so the walk machinery
+		// (and any telemetry probe reading counter deltas) sees exact
+		// stats, exactly as per-event Translate would.
+		m.stats.Accesses += accesses
+		m.stats.L1Hits += l1Hits
+		accesses, l1Hits = 0, 0
+		m.stats.L1Misses++
+		res, fault := m.translateMiss(gva)
+		if fault != nil {
+			m.lastValid, m.lastVBase, m.lastHBase = lastValid, lastVBase, lastHBase
+			return i, fault
+		}
+		lastValid, lastVBase, lastHBase = true, vbase, res.HPA&^(addr.PageSize4K-1)
+		if out != nil {
+			out[i] = res
+		}
+	}
+	m.stats.Accesses += accesses
+	m.stats.L1Hits += l1Hits
+	m.lastValid, m.lastVBase, m.lastHBase = lastValid, lastVBase, lastHBase
+	return len(evs), nil
+}
+
+// translateMiss handles everything past an L1 miss: segment fast paths,
+// the L2 probe, and the page-walk state machine.
+func (m *MMU) translateMiss(gva uint64) (Result, *Fault) {
 	var cycles uint64
 
 	// Dual Direct fast path: both segment register sets cover the
@@ -477,7 +580,7 @@ func (m *MMU) pageWalk(gva uint64, cycles uint64) (Result, *Fault) {
 // nativeWalk is the 1D walk: up to 4 references through the PTE cache,
 // reduced by the paging-structure caches.
 func (m *MMU) nativeWalk(va uint64, cycles uint64) (Result, *Fault) {
-	pa, size, ok := m.walkGuestTable(va, &cycles, nil)
+	pa, size, ok, _ := m.walkGuestTable(va, &cycles, false)
 	if !ok {
 		m.stats.GuestFaults++
 		m.stats.WalkCycles += cycles
@@ -489,12 +592,13 @@ func (m *MMU) nativeWalk(va uint64, cycles uint64) (Result, *Fault) {
 }
 
 // walkGuestTable walks the first-dimension table, applying the guest
-// PWC and, when virtualized, translating every table reference (a gPA)
-// through the nested dimension before reading it. It returns the leaf
-// translation and its page size; the references themselves are
-// accounted into the stats and PWC here, so no caller consumes them.
-// translateRef is non-nil in virtualized mode.
-func (m *MMU) walkGuestTable(va uint64, cycles *uint64, translateRef func(gpa uint64, cyc *uint64) (uint64, *Fault)) (pa uint64, size addr.PageSize, ok bool) {
+// PWC and, when nested (virtualized mode), translating every table
+// reference (a gPA) through the nested dimension before reading it. It
+// returns the leaf translation and its page size; the references
+// themselves are accounted into the stats and PWC here, so no caller
+// consumes them. A non-nil fault (nested dimension failed mid-walk)
+// takes precedence over !ok at the caller.
+func (m *MMU) walkGuestTable(va uint64, cycles *uint64, nested bool) (pa uint64, size addr.PageSize, ok bool, fault *Fault) {
 	m.refBuf = m.refBuf[:0]
 	pa, size, refs, ok := m.gPT.Walk(va, m.refBuf)
 	m.refBuf = refs
@@ -508,10 +612,10 @@ func (m *MMU) walkGuestTable(va uint64, cycles *uint64, translateRef func(gpa ui
 	}
 	for _, ref := range refs[skip:] {
 		physAddr := ref.Addr
-		if translateRef != nil {
-			hpa, fault := translateRef(ref.Addr, cycles)
-			if fault != nil {
-				return 0, 0, false
+		if nested {
+			hpa, _, f := m.nestedTranslate(ref.Addr, cycles)
+			if f != nil {
+				return 0, 0, false, f
 			}
 			physAddr = hpa
 		}
@@ -523,7 +627,7 @@ func (m *MMU) walkGuestTable(va uint64, cycles *uint64, translateRef func(gpa ui
 		leafLvl := refs[len(refs)-1].Level
 		m.pwc.FillFrom(va, skip, leafLvl)
 	}
-	return pa, size, ok
+	return pa, size, ok, nil
 }
 
 // nestedTranslate resolves one gPA to hPA: VMM segment (with escape
@@ -549,10 +653,13 @@ func (m *MMU) nestedTranslate(gpa uint64, cycles *uint64) (uint64, addr.PageSize
 		m.stats.NestedTLBMisses++
 	}
 	// Nested page-table walk: up to 4 references, reduced by the
-	// nested paging-structure caches.
+	// nested paging-structure caches. The ref buffer is reused across
+	// walks (separate from the guest-walk buffer, which is live while a
+	// 2D walk translates its table references through this path).
 	m.stats.NestedWalks++
-	var nrefs [addr.Levels]pagetable.Ref
-	hpa, nsize, refs, ok := m.nPT.Walk(gpa, nrefs[:0])
+	m.nrefBuf = m.nrefBuf[:0]
+	hpa, nsize, refs, ok := m.nPT.Walk(gpa, m.nrefBuf)
+	m.nrefBuf = refs
 	if !ok {
 		m.stats.NestedFaults++
 		return 0, 0, &Fault{Kind: FaultNested, Addr: gpa}
@@ -601,14 +708,7 @@ func (m *MMU) nestedWalk2D(gva uint64, cycles uint64) (Result, *Fault) {
 	} else {
 		// Walk the guest page table; each reference is a gPA needing
 		// nested translation first (the 5×4 of the 24-reference walk).
-		var fault *Fault
-		pa, size, ok := m.walkGuestTable(gva, &cycles, func(refGPA uint64, cyc *uint64) (uint64, *Fault) {
-			hpa, _, f := m.nestedTranslate(refGPA, cyc)
-			if f != nil {
-				fault = f
-			}
-			return hpa, f
-		})
+		pa, size, ok, fault := m.walkGuestTable(gva, &cycles, true)
 		if fault != nil {
 			m.stats.WalkCycles += cycles
 			return Result{}, fault

@@ -7,10 +7,12 @@ import "testing"
 // (paging churn, segment resize, mode switches, bad-page escapes,
 // ballooning, migration, TLB flushes) applied simultaneously to the
 // production mmu/tlb/ptecache/segment/escape/vmm stack — under two
-// cache geometries — and to the flat reference model. Any translation
-// mismatch, unexpected fault, cost-model violation in the strict
-// configuration, statistics-identity breach, or (flag bit 0) mode
-// monotonicity violation crashes the target.
+// cache geometries — and to the flat reference model. The flag byte's
+// nested-size bits pick the VM's backing granularity (4K/2M/1G), so
+// all three 2D-walk depths are fuzzed. Any translation mismatch,
+// unexpected fault, cost-model violation in the strict configuration,
+// statistics-identity breach, or (flag bit 0) mode monotonicity
+// violation crashes the target.
 //
 // Run a bounded smoke with
 //
@@ -30,7 +32,7 @@ func FuzzTranslationDiff(f *testing.F) {
 		if len(data) > 1<<12 {
 			return
 		}
-		h, err := NewHarness()
+		h, err := HarnessForInput(data)
 		if err != nil {
 			t.Fatalf("building harness: %v", err)
 		}

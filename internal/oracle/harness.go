@@ -30,8 +30,8 @@ import (
 // full production stack in well under a millisecond of simulated
 // setup, while still spanning multiple PML4/PDPT/PD indices.
 const (
-	guestSize = 16 << 20 // guest physical memory
-	hostSize  = 40 << 20 // host physical memory
+	guestSize = 16 << 20 // guest physical memory (4K/2M nested harness)
+	hostSize  = 40 << 20 // host physical memory (4K/2M nested harness)
 
 	// PrimBase is the primary region (guest-segment candidate): 256
 	// 4K pages backed by a contiguous guest physical run.
@@ -47,8 +47,6 @@ const (
 	// refCycles is the uniform PTE-reference cost of the strict MMU
 	// (hit == miss), making walk cycles exactly predictable.
 	refCycles = 10
-	// nestedLevels is the walk depth of the 4K nested dimension.
-	nestedLevels = 4
 )
 
 // strictConfig is the geometry the closed-form cost model predicts
@@ -93,6 +91,15 @@ type Harness struct {
 	vmmRegs segment.Registers // full-guest VMM segment registers
 	primGPA uint64            // gPA backing PrimBase
 
+	// Nested-dimension geometry: the page size backing gPA→hPA, its
+	// walk depth (4/3/2 for 4K/2M/1G — the 24-, 19- and 14-ref rows of
+	// the mode table), and the physical sizes, which grow for 1G so the
+	// guest spans at least one whole nested leaf.
+	nestedSize   addr.PageSize
+	nestedLevels uint64
+	guestBytes   uint64
+	hostBytes    uint64
+
 	virtualized   bool
 	guestSegPages uint64 // current guest-segment span in pages (0 = off)
 	vmmSegOn      bool
@@ -108,19 +115,39 @@ type Harness struct {
 
 // NewHarness builds the production stack (host, VM with contiguous
 // backing, guest kernel, process with a segment-backed primary region)
-// and the mirroring oracle, starting in Dual Direct mode.
+// and the mirroring oracle, starting in Dual Direct mode with 4K
+// nested pages.
 func NewHarness() (*Harness, error) {
+	return NewHarnessNested(addr.Page4K)
+}
+
+// NewHarnessNested is NewHarness with the VM backed at the given
+// nested page size, so the shallower 2D-walk rows of the mode table
+// (19 refs for 2M nested, 14 for 1G) run under the same differential
+// checks as the 4K default.
+func NewHarnessNested(nested addr.PageSize) (*Harness, error) {
 	h := &Harness{
 		model:        NewModel(),
 		virtualized:  true,
 		vmmSegOn:     true,
 		filtersClean: true,
+		nestedSize:   nested,
+		nestedLevels: Levels(nested),
+		guestBytes:   guestSize,
+		hostBytes:    hostSize,
 	}
-	h.host = vmm.NewHost(hostSize)
+	if nested == addr.Page1G {
+		// The guest must span one whole 1G leaf; the host needs that
+		// backing run plus a second 1G-aligned run so one whole-leaf
+		// migration (opEscapeVMM) can succeed, plus page-table slack.
+		h.guestBytes = 1 << 30
+		h.hostBytes = 3<<30 + 64<<20
+	}
+	h.host = vmm.NewHost(h.hostBytes)
 	vm, err := h.host.CreateVM(vmm.VMConfig{
 		Name:              "oracle-fuzz",
-		MemorySize:        guestSize,
-		NestedPageSize:    addr.Page4K,
+		MemorySize:        h.guestBytes,
+		NestedPageSize:    nested,
 		ContiguousBacking: true,
 	})
 	if err != nil {
@@ -201,10 +228,38 @@ func (r *opReader) next() byte {
 
 func (r *opReader) done() bool { return r.pos >= len(r.data) }
 
+// NestedSizeFromFlags decodes bits 1-2 of an op stream's flag byte
+// into the nested page size the harness should be built with: 4K by
+// default, 2M or 1G when the fuzzer sets the bits. The remaining two-
+// bit value wraps to 4K so every byte decodes to a valid geometry.
+func NestedSizeFromFlags(flags byte) addr.PageSize {
+	switch (flags >> 1) & 3 {
+	case 1:
+		return addr.Page2M
+	case 2:
+		return addr.Page1G
+	default:
+		return addr.Page4K
+	}
+}
+
+// HarnessForInput builds the harness an encoded op stream asks for:
+// the flag byte (byte 0) both configures the build — bits 1-2 select
+// the nested page size — and directs the run (bit 0, see Run).
+func HarnessForInput(data []byte) (*Harness, error) {
+	var flags byte
+	if len(data) > 0 {
+		flags = data[0]
+	}
+	return NewHarnessNested(NestedSizeFromFlags(flags))
+}
+
 // Run decodes and executes the whole op stream, then checks the
 // end-of-run statistics identities. The first byte is a flag byte:
 // bit 0 additionally replays the run's accesses through three fresh
-// single-mode stacks and checks the mode-table monotonicity invariant.
+// single-mode stacks and checks the mode-table monotonicity invariant
+// (bits 1-2 select the nested page size, consumed by HarnessForInput
+// at build time, not here).
 func (h *Harness) Run(data []byte) error {
 	r := &opReader{data: data}
 	flags := r.next()
@@ -227,25 +282,31 @@ func (h *Harness) Run(data []byte) error {
 	return nil
 }
 
-// step executes one operation.
+// step executes one operation. Op bytes dispatch through a weighted
+// 256-entry table (the op* range-start constants in seeds.go) rather
+// than a uniform mod: just under half the byte space goes to accesses
+// — the comparison itself — and the rest is deliberately skewed toward
+// segment resizes and the two mode toggles, the transitions where walk
+// dimensionality changes and a stale-TLB or mis-charged-cost bug has
+// the most places to hide.
 func (h *Harness) step(r *opReader) error {
 	op := r.next()
-	switch op % 13 {
-	case 0, 1, 2, 3, 4, 5:
+	switch {
+	case op < opMap: // 120/256: access
 		return h.access(h.decodeVA(r.next(), r.next()))
-	case 6:
+	case op < opUnmap: // 16/256: map
 		return h.opMap(r.next(), r.next())
-	case 7:
+	case op < opResize: // 16/256: unmap
 		return h.opUnmap(r.next(), r.next())
-	case 8:
+	case op < opToggleVMM: // 24/256: guest-segment resize
 		return h.opResizeGuestSegment(r.next())
-	case 9:
+	case op < opToggleVirt: // 24/256: VMM-segment toggle
 		h.opToggleVMMSegment()
-	case 10:
+	case op < opEscGuest: // 24/256: virtualization toggle
 		h.opToggleVirtualized()
-	case 11:
+	case op < opSub: // 16/256: guest-page escape
 		return h.opEscapeGuest(r.next())
-	case 12:
+	default: // 16/256: sub-op
 		b := r.next()
 		switch b % 3 {
 		case 0:
@@ -263,11 +324,17 @@ func (h *Harness) step(r *opReader) error {
 
 // decodeVA maps two operand bytes onto an address in one of the three
 // regions, with a sub-page offset so offset arithmetic is exercised.
+// Half the primary-region selectors aim within ±16 pages of the live
+// guest-segment limit: the covered↔uncovered boundary is where the 0D
+// fast path, the walker and demand paging hand off to each other.
 func (h *Harness) decodeVA(b1, b2 byte) uint64 {
 	off := ((uint64(b1)>>2)*64 + uint64(b2)) & 0xfff
 	switch b1 & 3 {
-	case 0, 1:
+	case 0:
 		return PrimBase + uint64(b2)%primPages<<addr.PageShift4K + off
+	case 1:
+		p := (h.guestSegPages + primPages - 16 + uint64(b2)%33) % primPages
+		return PrimBase + p<<addr.PageShift4K + off
 	case 2:
 		idx := (uint64(b1)>>2<<8 | uint64(b2)) % pagedPages
 		return PagedBase + idx<<addr.PageShift4K + off
@@ -428,7 +495,7 @@ func (h *Harness) checkCost(m *mmu.MMU, st0 mmu.Stats, res mmu.Result, want Pred
 		if h.virtualized && h.guestSegPages > 0 && h.vmmSegOn && want.GuestCovered && want.VMMCovered {
 			return fmt.Errorf("dual-covered access reached the page walker")
 		}
-		wc := ExpectWalk(want, h.guestSegPages > 0, h.vmmSegOn, h.virtualized, nestedLevels)
+		wc := ExpectWalk(want, h.guestSegPages > 0, h.vmmSegOn, h.virtualized, h.nestedLevels)
 		wantCycles := wc.Cycles(refCycles, 1)
 		if refs != wc.Refs || checks != wc.Checks || res.Cycles != wantCycles {
 			return fmt.Errorf("walk cost (refs %d, checks %d, cycles %d), mode table says (%d, %d, %d)",
@@ -564,9 +631,15 @@ func (h *Harness) opToggleVirtualized() {
 
 // opEscapeGuest escapes one primary-region page from the guest segment
 // (a bad guest page): filter insert on both MMUs, remap through paging
-// to a fresh frame, INVLPG.
+// to a fresh frame, INVLPG. The top selector values aim within ±8
+// pages of the live segment limit, so escapes land where a resize can
+// immediately flip them between covered and uncovered.
 func (h *Harness) opEscapeGuest(b byte) error {
-	va := uint64(PrimBase) + uint64(b)%primPages<<addr.PageShift4K
+	page := uint64(b) % primPages
+	if b >= 0xF0 {
+		page = (h.guestSegPages + primPages + uint64(b) - 0xF8) % primPages
+	}
+	va := uint64(PrimBase) + page<<addr.PageShift4K
 	vp := va >> addr.PageShift4K
 	if h.model.EscapedGuest[vp] {
 		return nil
@@ -594,26 +667,33 @@ func (h *Harness) opEscapeGuest(b byte) error {
 }
 
 // opEscapeVMM escapes one guest physical page from the VMM segment (a
-// bad host page) and migrates its backing to a fresh host frame.
+// bad host page) and migrates its backing to a fresh host frame. With
+// huge nested pages the whole containing leaf migrates — the VMM
+// cannot split a 2M/1G nested mapping — but only the selected page is
+// escaped, exactly as a single hard-faulted host page would be; the
+// segment keeps translating the leaf's healthy pages, so both worlds
+// stay linear for them and nested for the escaped one.
 func (h *Harness) opEscapeVMM(b1, b2 byte) error {
-	gp := (uint64(b1)<<8 | uint64(b2)) % (guestSize >> addr.PageShift4K)
+	gp := (uint64(b1)<<8 | uint64(b2)) % (h.guestBytes >> addr.PageShift4K)
 	gpa := gp << addr.PageShift4K
 	if _, ok := h.model.Nested[gp]; !ok {
 		return nil // ballooned away: nothing to migrate
 	}
-	f, err := h.host.Mem.AllocFrame()
+	gbase := addr.PageBase(gpa, h.nestedSize)
+	leafFrames := h.nestedSize.Bytes() >> addr.PageShift4K
+	first, err := h.host.Mem.AllocContiguous(leafFrames, leafFrames)
 	if err != nil {
 		return nil
 	}
-	hpa := f << addr.PageShift4K
-	if err := h.vm.NPT.Remap(gpa, hpa); err != nil {
-		return fmt.Errorf("migrating gPA %#x: %v", gpa, err)
+	hpa := first << addr.PageShift4K
+	if err := h.vm.NPT.Remap(gbase, hpa); err != nil {
+		return fmt.Errorf("migrating gPA %#x: %v", gbase, err)
 	}
 	for _, m := range h.mmus {
 		m.VMMEscapeFilter().Insert(gp)
 		m.InvalidateNested()
 	}
-	h.model.MapNested(gpa, hpa, addr.Page4K)
+	h.model.MapNested(gbase, hpa, h.nestedSize)
 	h.model.EscapedVMM[gp] = true
 	h.filtersClean = false
 	return nil
@@ -623,6 +703,9 @@ func (h *Harness) opEscapeVMM(b1, b2 byte) error {
 // unmaps its nested backing; the page is escaped from the VMM segment
 // so the segment cannot resurrect the reclaimed frame.
 func (h *Harness) opBalloon() error {
+	if h.nestedSize != addr.Page4K {
+		return nil // Balloon requires 4K nested pages (ErrBadNestedSize)
+	}
 	f, err := h.kernel.Mem.AllocFrame()
 	if err != nil {
 		return nil // guest memory exhausted: legal no-op

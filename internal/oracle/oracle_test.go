@@ -109,7 +109,7 @@ func TestLevels(t *testing.T) {
 // before any fuzzing.
 func TestHarnessSeeds(t *testing.T) {
 	for i, seed := range Seeds() {
-		h, err := NewHarness()
+		h, err := HarnessForInput(seed)
 		if err != nil {
 			t.Fatalf("seed %d: %v", i, err)
 		}

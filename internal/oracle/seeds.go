@@ -7,36 +7,63 @@
 
 package oracle
 
-// Op stream encoding (see Harness.step): byte 0 is a flag byte (bit 0
-// appends the mode-monotonicity replay), then op bytes dispatched
-// mod 13: 0-5 access(b1,b2), 6 map(b1,b2), 7 unmap(b1,b2), 8 resize(b),
-// 9 toggle VMM segment, 10 toggle virtualization, 11 escape guest
-// page(b), 12 sub-op(b): escape VMM page / balloon / flush.
+// Op stream encoding (see Harness.step): byte 0 is a flag byte — bit 0
+// appends the mode-monotonicity replay, bits 1-2 select the nested
+// page size (0 → 4K, 1 → 2M, 2 → 1G) — then op bytes dispatched
+// through a weighted 256-entry table. Each op* constant below is the
+// first byte of its range; the range widths bias the fuzzer toward
+// accesses (120/256) and mode-changing mutations (resize and the two
+// toggles get 24/256 each) over plain paging churn (16/256 each):
+// access(b1,b2), map(b1,b2), unmap(b1,b2), resize(b), toggle VMM
+// segment, toggle virtualization, escape guest page(b), sub-op(b):
+// escape VMM page / balloon / flush.
 const (
-	opAccess      = 0
-	opMap         = 6
-	opUnmap       = 7
-	opResize      = 8
-	opToggleVMM   = 9
-	opToggleVirt  = 10
-	opEscGuest    = 11
-	opSub         = 12
-	subEscVMM     = 0
-	subBalloon    = 1
-	subFlush      = 2
-	flagMonotone  = 1
+	opAccess     = 0   // 0-119
+	opMap        = 120 // 120-135
+	opUnmap      = 136 // 136-151
+	opResize     = 152 // 152-175
+	opToggleVMM  = 176 // 176-199
+	opToggleVirt = 200 // 200-223
+	opEscGuest   = 224 // 224-239
+	opSub        = 240 // 240-255
+
+	subEscVMM  = 0
+	subBalloon = 1
+	subFlush   = 2
+
 	flagPlainOnly = 0
+	flagMonotone  = 1
+	flagNested2M  = 2
+	flagNested1G  = 4
 )
+
+// namedSeed pairs a seed stream with its testdata/fuzz corpus file
+// name; TestSeedCorpusInSync keeps the two byte-identical.
+type namedSeed struct {
+	name string
+	data []byte
+}
+
+func namedSeeds() []namedSeed {
+	return []namedSeed{
+		{"seed-access-sweep", seedAccessSweep()},
+		{"seed-paging-churn", seedPagingChurn()},
+		{"seed-mode-churn", seedModeChurn()},
+		{"seed-escape-storm", seedEscapeStorm()},
+		{"seed-huge-pages", seedHugePages()},
+		{"seed-nested-2m", seedNestedHuge(flagMonotone | flagNested2M)},
+		{"seed-nested-1g", seedNestedHuge(flagNested1G)},
+	}
+}
 
 // Seeds returns the structured seed corpus.
 func Seeds() [][]byte {
-	return [][]byte{
-		seedAccessSweep(),
-		seedPagingChurn(),
-		seedModeChurn(),
-		seedEscapeStorm(),
-		seedHugePages(),
+	ns := namedSeeds()
+	out := make([][]byte, len(ns))
+	for i, s := range ns {
+		out[i] = s.data
 	}
+	return out
 }
 
 // seedAccessSweep touches all three regions in Dual Direct steady
@@ -104,6 +131,29 @@ func seedEscapeStorm() []byte {
 			opAccess, 1, byte(i*31),
 			opSub, subBalloon,
 			opAccess, 2, byte(i*37),
+		)
+	}
+	return b
+}
+
+// seedNestedHuge exercises a harness backed by 2M or 1G nested pages
+// (the flag byte picks which): paging churn, whole-leaf migration and
+// VMM-segment toggles under a 3- or 2-level nested dimension, so the
+// 19-ref and 14-ref 2D-walk rows of the mode table run through the
+// same differential checks as the 24-ref default.
+func seedNestedHuge(flag byte) []byte {
+	b := []byte{flag}
+	for i := 0; i < 12; i++ {
+		b = append(b,
+			opAccess, byte(i), byte(i*7),
+			opMap, byte(i), byte(i*3),
+			opAccess, 2, byte(i*5),
+			opSub, subEscVMM, byte(i), byte(i*29),
+			opAccess, 0, byte(i*13),
+			opToggleVMM,
+			opAccess, 1, byte(i*11),
+			opToggleVMM,
+			opUnmap, byte(i), byte(i*3),
 		)
 	}
 	return b

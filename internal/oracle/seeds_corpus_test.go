@@ -1,0 +1,39 @@
+package oracle
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateCorpus = flag.Bool("update-corpus", false,
+	"rewrite the checked-in testdata/fuzz seed corpus from Seeds()")
+
+// TestSeedCorpusInSync pins the checked-in fuzz corpus to the seed
+// builders: each seed-* file under testdata/fuzz/FuzzTranslationDiff
+// must hold exactly the bytes the corresponding builder produces, in
+// the standard `go test fuzz v1` encoding. When the op-stream encoding
+// changes, regenerate with
+//
+//	go test ./internal/oracle -run TestSeedCorpusInSync -update-corpus
+func TestSeedCorpusInSync(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzTranslationDiff")
+	for _, s := range namedSeeds() {
+		want := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", s.data)
+		path := filepath.Join(dir, s.name)
+		if *updateCorpus {
+			if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
+				t.Fatalf("%s: %v", s.name, err)
+			}
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (regenerate with -update-corpus)", s.name, err)
+		}
+		if string(got) != want {
+			t.Errorf("%s: corpus file out of sync with its seed builder (regenerate with -update-corpus)", s.name)
+		}
+	}
+}

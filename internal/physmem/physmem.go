@@ -226,17 +226,37 @@ func (m *Memory) AllocContiguous(n, alignFrames uint64) (uint64, error) {
 	if alignFrames == 0 {
 		alignFrames = 1
 	}
+	// Advance the hint past fully-unavailable words first. Repeated
+	// reservations (chunked VM backing fills memory front to back) then
+	// stay O(words touched) amortized instead of rescanning the dense
+	// allocated prefix on every call. Only whole words with no available
+	// frame are skipped, so no candidate start frame is ever passed over.
+	for m.hint < len(m.alloc) && ^(m.alloc[m.hint]|m.offline[m.hint]|m.bad[m.hint]) == 0 {
+		m.hint++
+	}
 	start := uint64(m.hint) * 64
-	for start+n <= m.frames {
+	for {
 		start = addr.AlignUp(start, alignFrames)
 		if start+n > m.frames {
 			break
 		}
+		// Jump word-wise to the next available frame before probing a
+		// run: a partially-allocated word would otherwise be crawled one
+		// frame per freeRunLen call, which dominates dense front-to-back
+		// fills like chunked VM backing (one call per 4K chunk).
+		w, bit := start/64, start%64
+		avail := ^(m.alloc[w] | m.offline[w] | m.bad[w]) >> bit
+		if avail == 0 {
+			start = (w + 1) * 64
+			continue
+		}
+		if tz := uint64(bits.TrailingZeros64(avail)); tz != 0 {
+			start += tz
+			continue // realign before probing the run
+		}
 		run := m.freeRunLen(start, n)
 		if run >= n {
-			for f := start; f < start+n; f++ {
-				m.setBit(m.alloc, f)
-			}
+			m.markAllocated(start, n)
 			m.numAlloc += n
 			return start, nil
 		}
@@ -246,11 +266,46 @@ func (m *Memory) AllocContiguous(n, alignFrames uint64) (uint64, error) {
 	return 0, ErrNoContiguous
 }
 
-// freeRunLen counts available frames starting at start, up to max.
+// markAllocated sets [start, start+n) in the alloc bitmap word-wise.
+func (m *Memory) markAllocated(start, n uint64) {
+	for f := start; f < start+n; {
+		w, bit := f/64, f%64
+		span := 64 - bit
+		if rem := start + n - f; rem < span {
+			span = rem
+		}
+		m.alloc[w] |= (^uint64(0) >> (64 - span)) << bit
+		f += span
+	}
+}
+
+// freeRunLen counts available frames starting at start, up to max. It
+// scans word-wise: a run of available frames shows up as consecutive set
+// bits in the complement of alloc|offline|bad.
 func (m *Memory) freeRunLen(start, max uint64) uint64 {
+	if start >= m.frames {
+		return 0
+	}
+	if lim := m.frames - start; max > lim {
+		max = lim
+	}
 	var run uint64
-	for run < max && m.available(start+run) {
-		run++
+	for run < max {
+		f := start + run
+		w, bit := f/64, f%64
+		avail := ^(m.alloc[w] | m.offline[w] | m.bad[w]) >> bit
+		// Consecutive available frames from f = trailing one-bits of avail.
+		c := uint64(bits.TrailingZeros64(^avail))
+		if c == 0 {
+			break
+		}
+		run += c
+		if c < 64-bit {
+			break
+		}
+	}
+	if run > max {
+		run = max
 	}
 	return run
 }

@@ -44,9 +44,13 @@ type line struct {
 
 // Cache is the PTE cost model. Not safe for concurrent use.
 type Cache struct {
-	cfg    Config
-	sets   int
-	lines  []line
+	cfg   Config
+	sets  int
+	lines []line
+	// mask indexes power-of-two set counts without division (all shipped
+	// geometries are powers of two); the modulo path is a fallback.
+	mask   uint64
+	pow2   bool
 	clock  uint64
 	refs   uint64
 	misses uint64
@@ -57,10 +61,13 @@ func New(cfg Config) *Cache {
 	if cfg.Lines <= 0 || cfg.Ways <= 0 || cfg.Lines%cfg.Ways != 0 {
 		panic(fmt.Sprintf("ptecache: bad geometry %d/%d", cfg.Lines, cfg.Ways))
 	}
+	sets := cfg.Lines / cfg.Ways
 	return &Cache{
 		cfg:   cfg,
-		sets:  cfg.Lines / cfg.Ways,
+		sets:  sets,
 		lines: make([]line, cfg.Lines),
+		mask:  uint64(sets - 1),
+		pow2:  sets&(sets-1) == 0,
 	}
 }
 
@@ -70,9 +77,14 @@ func (c *Cache) Access(phys uint64) uint64 {
 	c.refs++
 	c.clock++
 	lineAddr := phys >> lineShift
-	set := int(lineAddr) % c.sets
-	if set < 0 {
-		set = -set
+	var set int
+	if c.pow2 {
+		set = int(lineAddr & c.mask)
+	} else {
+		set = int(lineAddr) % c.sets
+		if set < 0 {
+			set = -set
+		}
 	}
 	ways := c.lines[set*c.cfg.Ways : (set+1)*c.cfg.Ways]
 	victim := 0

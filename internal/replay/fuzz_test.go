@@ -15,8 +15,10 @@ type perEventSlice struct{ trace.Generator }
 
 // fuzzDigest replays g and hashes every event the hooks observe, in
 // order. quanta supplies the Step limit per iteration (nil means one
-// Run call); the returned serviced total must equal Counts().Accesses.
-func fuzzDigest(t *testing.T, g trace.Generator, cfg replay.Config, quanta func() int) (uint64, replay.Counts, int, int) {
+// Run call); block routes accesses through the batch AccessBlock hook
+// instead of the per-event Access hook. The returned serviced total
+// must equal Counts().Accesses.
+func fuzzDigest(t *testing.T, g trace.Generator, cfg replay.Config, quanta func() int, block bool) (uint64, replay.Counts, int, int) {
 	t.Helper()
 	h := fnv.New64a()
 	var b [26]byte
@@ -35,9 +37,16 @@ func fuzzDigest(t *testing.T, g trace.Generator, cfg replay.Config, quanta func(
 		return nil
 	}
 	warmups := 0
-	eng := replay.New(g,
-		replay.Hooks{Access: obs, Alloc: obs, Free: obs, Warmup: func() { warmups++ }},
-		cfg)
+	hooks := replay.Hooks{Access: obs, Alloc: obs, Free: obs, Warmup: func() { warmups++ }}
+	if block {
+		hooks.AccessBlock = func(evs []trace.Event) (int, error) {
+			for _, ev := range evs {
+				obs(ev)
+			}
+			return len(evs), nil
+		}
+	}
+	eng := replay.New(g, hooks, cfg)
 	serviced := 0
 	if quanta == nil {
 		if err := eng.Run(); err != nil {
@@ -61,8 +70,9 @@ func fuzzDigest(t *testing.T, g trace.Generator, cfg replay.Config, quanta func(
 
 // FuzzEngineStep decodes an arbitrary event trace, a warmup boundary, a
 // block size and a stream of scheduling quanta, then replays the same
-// trace four ways — block-streaming Run, block-streaming under random
-// Step quanta, per-event shim Run, per-event shim stepped — and
+// trace six ways — block-streaming Run, block-streaming under random
+// Step quanta, per-event shim Run, per-event shim stepped, and both Run
+// and stepped variants again through the batch AccessBlock hook — and
 // requires the observed event stream and all counters to be
 // byte-identical. The parallel scheduler's determinism guarantee
 // (identical counters at any -j) reduces to exactly this property.
@@ -113,17 +123,22 @@ func FuzzEngineStep(f *testing.F) {
 			serviced int
 			warmups  int
 		}
-		var runs [4]run
+		var runs [6]run
 		runs[0].digest, runs[0].counts, runs[0].serviced, runs[0].warmups =
-			fuzzDigest(t, s, cfg, nil)
+			fuzzDigest(t, s, cfg, nil, false)
 		s.Reset()
 		runs[1].digest, runs[1].counts, runs[1].serviced, runs[1].warmups =
-			fuzzDigest(t, s, cfg, quanta)
+			fuzzDigest(t, s, cfg, quanta, false)
 		runs[2].digest, runs[2].counts, runs[2].serviced, runs[2].warmups =
-			fuzzDigest(t, perEventSlice{trace.NewSlice("fuzz", evs)}, cfg, nil)
+			fuzzDigest(t, perEventSlice{trace.NewSlice("fuzz", evs)}, cfg, nil, false)
 		qpos = 0
 		runs[3].digest, runs[3].counts, runs[3].serviced, runs[3].warmups =
-			fuzzDigest(t, perEventSlice{trace.NewSlice("fuzz", evs)}, cfg, quanta)
+			fuzzDigest(t, perEventSlice{trace.NewSlice("fuzz", evs)}, cfg, quanta, false)
+		runs[4].digest, runs[4].counts, runs[4].serviced, runs[4].warmups =
+			fuzzDigest(t, trace.NewSlice("fuzz", evs), cfg, nil, true)
+		qpos = 0
+		runs[5].digest, runs[5].counts, runs[5].serviced, runs[5].warmups =
+			fuzzDigest(t, trace.NewSlice("fuzz", evs), cfg, quanta, true)
 		for i := 1; i < len(runs); i++ {
 			if runs[i] != runs[0] {
 				t.Fatalf("replay path %d diverged from block Run:\n%+v\n%+v", i, runs[i], runs[0])

@@ -36,6 +36,15 @@ type Hooks struct {
 	// Access services one data reference — typically an MMU translate
 	// with demand-paging retry. ev.Kind is always trace.Access.
 	Access func(ev trace.Event) error
+	// AccessBlock, when non-nil, takes precedence over Access and
+	// services a run of consecutive Access events in one call — the
+	// batch entry into MMU.TranslateBlock, eliminating one hook dispatch
+	// per event. It returns how many events completed; on error, done
+	// names the failing event's index and events [0, done) counted as
+	// serviced. The engine cuts runs at the warmup boundary and the Step
+	// limit, so a hook never sees a run spanning either. The failing
+	// event is consumed, exactly as a failing Access is.
+	AccessBlock func(evs []trace.Event) (done int, err error)
 	// Alloc observes an mmap/brk event (pages fault in on first touch,
 	// so most consumers leave this nil).
 	Alloc func(ev trace.Event) error
@@ -141,8 +150,50 @@ func (e *Engine) Step(limit int) (serviced int, more bool, err error) {
 		// Iterate the buffered block as a plain slice: no interface
 		// dispatch, and the bounds check hoists out of the common case.
 		block := e.buf[e.pos:e.n]
-		for i := range block {
+		for i := 0; i < len(block); {
 			ev := block[i]
+			if ev.Kind == trace.Access && e.h.AccessBlock != nil {
+				// Batch path: hand the maximal run of consecutive Access
+				// events — cut at the warmup boundary and the Step limit
+				// so per-access bookkeeping stays hook-free.
+				j := i + 1
+				for j < len(block) && block[j].Kind == trace.Access {
+					j++
+				}
+				n := j - i
+				if e.counts.Accesses < e.warmupAt {
+					if room := e.warmupAt - e.counts.Accesses; uint64(n) > room {
+						n = int(room)
+					}
+				}
+				if limit > 0 {
+					if room := limit - serviced; n > room {
+						n = room
+					}
+				}
+				measured := e.counts.Accesses >= e.warmupAt
+				done, err := e.h.AccessBlock(block[i : i+n])
+				e.counts.Events += uint64(done)
+				e.counts.Accesses += uint64(done)
+				serviced += done
+				if measured {
+					e.counts.Measured += uint64(done)
+				}
+				if err != nil {
+					e.counts.Events++ // the failing event is consumed
+					e.pos += i + done + 1
+					return serviced, true, err
+				}
+				if done > 0 && e.counts.Accesses == e.warmupAt && e.h.Warmup != nil {
+					e.h.Warmup()
+				}
+				i += done
+				if limit > 0 && serviced >= limit {
+					e.pos += i
+					return serviced, true, nil
+				}
+				continue
+			}
 			e.counts.Events++
 			switch ev.Kind {
 			case trace.Access:
@@ -179,6 +230,7 @@ func (e *Engine) Step(limit int) (serviced int, more bool, err error) {
 					}
 				}
 			}
+			i++
 		}
 		e.pos = e.n
 	}

@@ -57,10 +57,15 @@ type slot struct {
 // SetAssoc is a generic set-associative translation cache with LRU
 // replacement. Entries are keyed by (kind, vpn).
 type SetAssoc struct {
-	name    string
-	sets    int
-	ways    int
-	slots   []slot // sets*ways, row-major
+	name  string
+	sets  int
+	ways  int
+	slots []slot // sets*ways, row-major
+	// mask indexes power-of-two set counts without division; every
+	// shipped geometry (Table VI and the PWC sizes) is a power of two,
+	// so the modulo fallback exists only for exotic test geometries.
+	mask    uint64
+	pow2    bool
 	clock   uint64
 	lookups uint64
 	hits    uint64
@@ -80,18 +85,26 @@ func NewSetAssoc(name string, entries, ways int) *SetAssoc {
 	if entries <= 0 || ways <= 0 || entries%ways != 0 {
 		panic(fmt.Sprintf("tlb: bad geometry %d entries / %d ways", entries, ways))
 	}
+	sets := entries / ways
 	return &SetAssoc{
 		name:  name,
-		sets:  entries / ways,
+		sets:  sets,
 		ways:  ways,
 		slots: make([]slot, entries),
+		mask:  uint64(sets - 1),
+		pow2:  sets&(sets-1) == 0,
 	}
 }
 
 func (c *SetAssoc) set(vpn uint64) []slot {
-	s := int(vpn) % c.sets
-	if s < 0 {
-		s = -s
+	var s int
+	if c.pow2 {
+		s = int(vpn & c.mask)
+	} else {
+		s = int(vpn) % c.sets
+		if s < 0 {
+			s = -s
+		}
 	}
 	return c.slots[s*c.ways : (s+1)*c.ways]
 }
@@ -101,8 +114,9 @@ func (c *SetAssoc) set(vpn uint64) []slot {
 func (c *SetAssoc) Lookup(kind EntryKind, vpn uint64) (ppn uint64, hit bool) {
 	c.lookups++
 	c.clock++
-	for i := range c.set(vpn) {
-		s := &c.set(vpn)[i]
+	set := c.set(vpn)
+	for i := range set {
+		s := &set[i]
 		if s.valid && s.kind == kind && s.vpn == vpn &&
 			(kind == KindNested || s.asid == c.curASID) {
 			s.lru = c.clock
@@ -172,8 +186,9 @@ func (c *SetAssoc) FlushKind(kind EntryKind) {
 
 // InvalidatePage removes a specific translation, as INVLPG would.
 func (c *SetAssoc) InvalidatePage(kind EntryKind, vpn uint64) {
-	for i := range c.set(vpn) {
-		s := &c.set(vpn)[i]
+	set := c.set(vpn)
+	for i := range set {
+		s := &set[i]
 		if s.valid && s.kind == kind && s.vpn == vpn {
 			s.valid = false
 		}
@@ -240,12 +255,17 @@ func (l *L1) structFor(s addr.PageSize) *SetAssoc {
 }
 
 // Lookup probes all three size structures in parallel, as hardware does.
+// The probes are unrolled — this is the hottest lookup in the simulator
+// and must not allocate or dispatch per size.
 func (l *L1) Lookup(va uint64) (pa uint64, size addr.PageSize, hit bool) {
-	for _, s := range []addr.PageSize{addr.Page4K, addr.Page2M, addr.Page1G} {
-		vpn := addr.PageNumber(va, s)
-		if ppn, ok := l.structFor(s).Lookup(KindGuest, vpn); ok {
-			return ppn<<s.Shift() + addr.Offset(va, s), s, true
-		}
+	if ppn, ok := l.by4K.Lookup(KindGuest, va>>addr.PageShift4K); ok {
+		return ppn<<addr.PageShift4K + va&(addr.PageSize4K-1), addr.Page4K, true
+	}
+	if ppn, ok := l.by2M.Lookup(KindGuest, va>>addr.PageShift2M); ok {
+		return ppn<<addr.PageShift2M + va&(addr.PageSize2M-1), addr.Page2M, true
+	}
+	if ppn, ok := l.by1G.Lookup(KindGuest, va>>addr.PageShift1G); ok {
+		return ppn<<addr.PageShift1G + va&(addr.PageSize1G-1), addr.Page1G, true
 	}
 	return 0, 0, false
 }

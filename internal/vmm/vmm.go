@@ -372,10 +372,13 @@ func (vm *VM) HotplugAdd(size uint64) (addr.Range, error) {
 	for gpa := r.Start; gpa < r.End(); gpa += addr.PageSize4K {
 		f, err := vm.host.Mem.AllocFrame()
 		if err != nil {
+			vm.rollbackHotplug(r, gpa)
 			return addr.Range{}, fmt.Errorf("vmm: backing hotplug: %w", err)
 		}
 		hpa := physmem.FrameToAddr(f)
 		if err := vm.NPT.Map(gpa, hpa, addr.Page4K); err != nil {
+			vm.host.Mem.FreeFrame(f)
+			vm.rollbackHotplug(r, gpa)
 			return addr.Range{}, err
 		}
 		vm.registerBacking(gpa, hpa, addr.PageSize4K)
@@ -384,6 +387,24 @@ func (vm *VM) HotplugAdd(size uint64) (addr.Range, error) {
 	// Extend the high slot to cover the growth (§VI.C: "We extend the
 	// second KVM slot by the same amount of memory").
 	return r, nil
+}
+
+// rollbackHotplug releases the backing installed for [r.Start, upTo)
+// after a mid-loop HotplugAdd failure, so a failed hotplug leaks no
+// host frames. The grown guest range stays offline (it was never
+// returned to the caller, so the guest cannot online it).
+func (vm *VM) rollbackHotplug(r addr.Range, upTo uint64) {
+	for gpa := r.Start; gpa < upTo; gpa += addr.PageSize4K {
+		hpa, _, ok := vm.NPT.Translate(gpa)
+		if !ok {
+			continue
+		}
+		if vm.NPT.Unmap(gpa, addr.Page4K) != nil {
+			continue
+		}
+		vm.unregisterBacking(hpa, addr.PageSize4K)
+		vm.host.Mem.FreeFrame(physmem.AddrToFrame(hpa))
+	}
 }
 
 // HotplugRemove releases the host backing of an unplugged guest range.

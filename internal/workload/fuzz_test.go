@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"testing"
+
+	"vdirect/internal/addr"
+	"vdirect/internal/trace"
+)
+
+// FuzzGeneratorContracts decodes five bytes into a workload name and a
+// bounded Config, builds the generator, and pins the contracts the
+// experiment harness leans on: the analytic AccessCount matches what a
+// replay emits (warmup boundaries are placed from it without a counting
+// pass), the access budget is respected to within 2%, every access
+// falls inside a declared static region or a live dynamic allocation,
+// the primary region is where the layout promises, and — because the
+// replay engine streams blocks — the block path replays the exact event
+// sequence the per-event path produced.
+func FuzzGeneratorContracts(f *testing.F) {
+	f.Add([]byte{0, 1, 8, 0x10, 0x00})
+	f.Add([]byte{3, 7, 1, 0x02, 0x00})
+	f.Add([]byte{9, 255, 31, 0x4e, 0x20})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 5 {
+			return
+		}
+		names := Names()
+		name := names[int(data[0])%len(names)]
+		cfg := Config{
+			Seed:     uint64(data[1]),
+			MemoryMB: 1 + int(data[2])%32,
+			Ops:      500 + int(uint64(data[3])<<8|uint64(data[4]))%20000,
+		}
+		cfg = cfg.withDefaults()
+		w := New(name, cfg)
+
+		pr := w.PrimaryRegion()
+		if pr.Empty() || pr.Start != PrimaryBase {
+			t.Fatalf("%s %+v: primary region %+v", name, cfg, pr)
+		}
+		regions := w.StaticRegions()
+		primaryDeclared := false
+		for _, r := range regions {
+			if r == pr {
+				primaryDeclared = true
+			}
+		}
+		if !primaryDeclared {
+			t.Fatalf("%s %+v: primary region missing from StaticRegions", name, cfg)
+		}
+
+		// Per-event pass: count, and check containment against static
+		// regions plus the live dynamic allocations.
+		live := map[addr.Range]bool{}
+		inAny := func(va uint64) bool {
+			for _, r := range regions {
+				if r.Contains(va) {
+					return true
+				}
+			}
+			for r := range live {
+				if r.Contains(va) {
+					return true
+				}
+			}
+			return false
+		}
+		var events []trace.Event
+		var accesses uint64
+		for {
+			ev, ok := w.Next()
+			if !ok {
+				break
+			}
+			events = append(events, ev)
+			switch ev.Kind {
+			case trace.Alloc:
+				live[addr.Range{Start: uint64(ev.VA), Size: ev.Size}] = true
+			case trace.Free:
+				delete(live, addr.Range{Start: uint64(ev.VA), Size: ev.Size})
+			case trace.Access:
+				accesses++
+				if !inAny(uint64(ev.VA)) {
+					t.Fatalf("%s %+v: access %#x outside all regions", name, cfg, ev.VA)
+				}
+			}
+		}
+		if got := w.AccessCount(); got != accesses {
+			t.Fatalf("%s %+v: AccessCount() = %d, replay emitted %d", name, cfg, got, accesses)
+		}
+		if accesses < uint64(cfg.Ops) || accesses > uint64(cfg.Ops)+uint64(cfg.Ops)/50 {
+			t.Fatalf("%s %+v: %d accesses for budget %d", name, cfg, accesses, cfg.Ops)
+		}
+
+		// Block pass after Reset: the block-streaming path must replay
+		// the identical sequence (an odd buffer size forces refills that
+		// straddle whatever internal structure the generator has).
+		w.Reset()
+		if got := w.AccessCount(); got != accesses {
+			t.Fatalf("%s %+v: AccessCount() after Reset = %d, want %d", name, cfg, got, accesses)
+		}
+		buf := make([]trace.Event, 97)
+		pos := 0
+		for {
+			n := trace.FillBlock(w, buf)
+			if n == 0 {
+				break
+			}
+			for _, ev := range buf[:n] {
+				if pos >= len(events) {
+					t.Fatalf("%s %+v: block replay emitted more than %d events", name, cfg, len(events))
+				}
+				if ev != events[pos] {
+					t.Fatalf("%s %+v: event %d differs between block and per-event replay: %+v vs %+v",
+						name, cfg, pos, ev, events[pos])
+				}
+				pos++
+			}
+		}
+		if pos != len(events) {
+			t.Fatalf("%s %+v: block replay emitted %d events, per-event replay %d", name, cfg, pos, len(events))
+		}
+	})
+}
