@@ -44,7 +44,8 @@ func main() {
 func run() (retErr error) {
 	var (
 		scaleName  = flag.String("scale", "medium", "simulation scale: small|medium|full")
-		only       = flag.String("only", "", "comma-separated section subset (figure1,figure11,figure12,figure13,sectionVIII,breakdown,tableIV,shadow,sharing,energy,tableII,tableIII)")
+		only       = flag.String("only", "", "comma-separated section subset (figure1,figure11,figure12,figure13,sectionVIII,breakdown,tableIV,shadow,sharing,energy,tableII,tableIII; naming consolidation also enables that extension study)")
+		shards     = flag.Int("shards", 1, "intra-cell shard goroutines for the consolidation study; output is identical at any value")
 		outDir     = flag.String("out", "", "directory to write per-section files into")
 		trials     = flag.Int("fig13-trials", 30, "trials per escape-filter point")
 		jobs       = flag.Int("j", 0, "max concurrently simulated cells (0 = GOMAXPROCS); output is identical at any -j")
@@ -112,7 +113,12 @@ func run() (retErr error) {
 		}
 	}
 
-	opts := vdirect.Options{Parallelism: *jobs, Fig13Trials: *trials}
+	opts := vdirect.Options{
+		Parallelism:   *jobs,
+		Fig13Trials:   *trials,
+		Consolidation: want["consolidation"],
+		Shards:        *shards,
+	}
 	if !*quiet {
 		opts.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rsimulating: %d/%d cells", done, total)

@@ -53,29 +53,17 @@ const (
 )
 
 // Bytes returns the size of the page in bytes.
-func (s PageSize) Bytes() uint64 {
-	switch s {
-	case Page4K:
-		return PageSize4K
-	case Page2M:
-		return PageSize2M
-	case Page1G:
-		return PageSize1G
-	}
-	panic(fmt.Sprintf("addr: invalid page size %d", s))
-}
+func (s PageSize) Bytes() uint64 { return 1 << s.Shift() }
 
-// Shift returns log2 of the page size.
+// Shift returns log2 of the page size. The three sizes are 9 bits (one
+// radix level) apart, so this is arithmetic, not a branch — Shift, and
+// the Mask/Bytes/PageBase/Offset helpers built on it, sit on the
+// per-translation hot path.
 func (s PageSize) Shift() uint {
-	switch s {
-	case Page4K:
-		return PageShift4K
-	case Page2M:
-		return PageShift2M
-	case Page1G:
-		return PageShift1G
+	if s > Page1G {
+		panic(fmt.Sprintf("addr: invalid page size %d", s))
 	}
-	panic(fmt.Sprintf("addr: invalid page size %d", s))
+	return PageShift4K + 9*uint(s)
 }
 
 func (s PageSize) String() string {

@@ -1,0 +1,255 @@
+// Consolidation study (extension): a consolidated host runs many
+// independent VMs, and the simulator can exploit that independence. Each
+// tenant owns a complete private stack — host memory, VM, guest kernel,
+// process, MMU, replay engine — so tenants never share mutable state and
+// the study can partition them across shard goroutines. Shards advance
+// their tenants one scheduling quantum at a time and meet at a barrier
+// where per-shard statistics merge in fixed tenant order, making the
+// aggregate byte-identical at any shard count: the totals are sums of
+// per-tenant values that each depend only on that tenant's seed.
+//
+// The modeled result is the paper's consolidation argument in §VIII:
+// nested paging's overhead compounds as tenants multiply, while Dual
+// Direct holds per-tenant overhead near zero.
+
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"vdirect/internal/mmu"
+	"vdirect/internal/perfmodel"
+	"vdirect/internal/replay"
+	"vdirect/internal/stats"
+	"vdirect/internal/trace"
+	"vdirect/internal/workload"
+)
+
+// ConsolidationQuantum is the scheduling quantum, in accesses, between
+// shard barriers. It only sets how often shards synchronize and merge;
+// simulated results are identical at any value.
+const ConsolidationQuantum = 1 << 16
+
+// ConsolidationResult aggregates one workload × mode cell over all
+// tenants.
+type ConsolidationResult struct {
+	Workload string
+	Config   string
+	Tenants  int
+	// Accesses and WalkCycles summed over tenants, in tenant order.
+	Accesses   uint64
+	WalkCycles uint64
+	// Overhead is the aggregate translation overhead across tenants.
+	Overhead float64
+	// WorstTenant is the highest single-tenant overhead — the noisy-
+	// neighbour view.
+	WorstTenant float64
+}
+
+// shardStats is a telemetry.Local-style statistics shard: one per shard
+// goroutine, plain (non-atomic) increments on the simulation path, and
+// folded into the cell aggregate only at quantum barriers by the
+// coordinator. Tenant-indexed so the merge order never depends on shard
+// scheduling.
+type shardStats struct {
+	accesses   []uint64 // by tenant
+	walkCycles []uint64 // by tenant
+}
+
+func newShardStats(tenants int) *shardStats {
+	return &shardStats{
+		accesses:   make([]uint64, tenants),
+		walkCycles: make([]uint64, tenants),
+	}
+}
+
+// tenant is one VM's private simulation stack plus its replay cursor.
+type tenant struct {
+	env    *env
+	eng    *replay.Engine
+	cycles uint64 // walk cycles accumulated by the access hook
+	done   bool
+}
+
+// ConsolidationStudy simulates `tenants` independent VMs per workload ×
+// config cell, partitioned across `shards` goroutines (shard s owns
+// tenants i with i%shards == s). Results are identical for any shards
+// ≥ 1; shards only sets host-side parallelism.
+func ConsolidationStudy(scale Scale, workloads []string, tenants, shards int) ([]ConsolidationResult, error) {
+	if tenants <= 0 {
+		tenants = 4
+	}
+	if shards <= 0 {
+		shards = 1
+	}
+	if shards > tenants {
+		shards = tenants
+	}
+	var out []ConsolidationResult
+	for _, wl := range workloads {
+		for _, config := range []string{"4K+4K", "DD"} {
+			res, err := runConsolidation(wl, config, scale, tenants, shards)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+func runConsolidation(wl, config string, scale Scale, tenants, shards int) (ConsolidationResult, error) {
+	spec, err := ParseConfig(config)
+	if err != nil {
+		return ConsolidationResult{}, err
+	}
+	spec.Workload = wl
+	class := workload.New(wl, workload.Config{MemoryMB: 1, Ops: 1}).Class()
+
+	// Build every tenant stack serially, in tenant order: construction
+	// allocates from per-tenant hosts, so this is determinism hygiene
+	// (and keeps build errors ordered), not a correctness requirement.
+	ts := make([]*tenant, tenants)
+	for i := range ts {
+		s := spec
+		s.WL = scale.WLConfig(class, uint64(i+1))
+		w := workload.New(wl, s.WL)
+		e, err := build(s, w)
+		if err != nil {
+			return ConsolidationResult{}, fmt.Errorf("experiments: consolidation tenant %d: %w", i, err)
+		}
+		if got := e.m.Mode(); got != s.Mode {
+			return ConsolidationResult{}, fmt.Errorf("experiments: consolidation built mode %v, wanted %v", got, s.Mode)
+		}
+		t := &tenant{env: e}
+		t.eng = replay.New(w, replay.Hooks{
+			AccessBlock: func(evs []trace.Event) (int, error) {
+				return consolidationBlock(t, evs)
+			},
+		}, replay.Config{})
+		ts[i] = t
+	}
+
+	// Quantum-stepped execution: each round, every shard advances each
+	// of its live tenants by one quantum, entirely within tenant-private
+	// state. At the barrier the coordinator folds the shard statistics
+	// into the aggregate in tenant order.
+	agg := newShardStats(tenants)
+	locals := make([]*shardStats, shards)
+	for s := range locals {
+		locals[s] = newShardStats(tenants)
+	}
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	remaining := tenants
+	for remaining > 0 {
+		wg.Add(shards)
+		for s := 0; s < shards; s++ {
+			go func(s int) {
+				defer wg.Done()
+				local := locals[s]
+				for i := s; i < tenants; i += shards {
+					t := ts[i]
+					if t.done {
+						continue
+					}
+					before := t.cycles
+					n, more, err := t.eng.Step(ConsolidationQuantum)
+					if err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("experiments: consolidation tenant %d: %w", i, err)
+						}
+						errMu.Unlock()
+						t.done = true
+						continue
+					}
+					local.accesses[i] += uint64(n)
+					local.walkCycles[i] += t.cycles - before
+					if !more {
+						t.done = true
+					}
+				}
+			}(s)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return ConsolidationResult{}, firstErr
+		}
+		// Barrier merge, tenant order: shard locals drain into the
+		// aggregate and reset for the next quantum.
+		for i := 0; i < tenants; i++ {
+			l := locals[i%shards]
+			agg.accesses[i] += l.accesses[i]
+			agg.walkCycles[i] += l.walkCycles[i]
+			l.accesses[i], l.walkCycles[i] = 0, 0
+		}
+		remaining = 0
+		for _, t := range ts {
+			if !t.done {
+				remaining++
+			}
+		}
+	}
+
+	cpi := workload.New(wl, scale.WLConfig(class, 1)).BaseCPI()
+	res := ConsolidationResult{Workload: wl, Config: config, Tenants: tenants}
+	worst := 0.0
+	for i := 0; i < tenants; i++ {
+		res.Accesses += agg.accesses[i]
+		res.WalkCycles += agg.walkCycles[i]
+		o := perfmodel.Overhead(float64(agg.walkCycles[i]), float64(agg.accesses[i])*cpi)
+		if o > worst {
+			worst = o
+		}
+	}
+	res.Overhead = perfmodel.Overhead(float64(res.WalkCycles), float64(res.Accesses)*cpi)
+	res.WorstTenant = worst
+	return res, nil
+}
+
+// consolidationBlock is the per-tenant access hook: translate the block
+// through the tenant's private MMU, servicing demand-paging faults from
+// its private kernel. Identical protocol to translateBlock, plus cycle
+// accounting the study reads per quantum.
+func consolidationBlock(t *tenant, evs []trace.Event) (int, error) {
+	e := t.env
+	done, attempt := 0, 0
+	for {
+		cyc0 := e.m.Stats().WalkCycles
+		n, fault := e.m.TranslateBlock(evs[done:], nil)
+		t.cycles += e.m.Stats().WalkCycles - cyc0
+		done += n
+		if fault == nil {
+			return done, nil
+		}
+		if n > 0 {
+			attempt = 0 // a new event is faulting
+		}
+		attempt++
+		if fault.Kind != mmu.FaultGuest {
+			return done, fmt.Errorf("experiments: unexpected nested fault at gPA %#x", fault.Addr)
+		}
+		if err := e.proc.HandleFault(fault.Addr); err != nil {
+			return done, fmt.Errorf("experiments: fault at %#x: %w", fault.Addr, err)
+		}
+		if attempt >= 3 {
+			return done, fmt.Errorf("experiments: access at %#x still faulting after service", uint64(evs[done].VA))
+		}
+	}
+}
+
+// ConsolidationTable renders the study.
+func ConsolidationTable(rows []ConsolidationResult) *stats.Table {
+	t := stats.NewTable("Consolidation — aggregate translation overhead across tenants",
+		"workload", "config", "tenants", "accesses", "overhead", "worst tenant")
+	for _, r := range rows {
+		t.AddRow(r.Workload, r.Config, fmt.Sprint(r.Tenants), fmt.Sprint(r.Accesses),
+			stats.Percent(r.Overhead), stats.Percent(r.WorstTenant))
+	}
+	return t
+}

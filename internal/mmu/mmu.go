@@ -353,6 +353,17 @@ func (m *MMU) ContextSwitchASID(gpt *pagetable.Table, guestSeg segment.Registers
 	m.pwc.SetASID(asid)
 }
 
+// FlushASID drops one address space's translations from every guest-
+// dimension cache — INVPCID of a single PCID. Nested entries are per-VM
+// and survive; the current address space's last-page cache is dropped
+// unconditionally (the flushed ASID may be the active one).
+func (m *MMU) FlushASID(a uint16) {
+	m.lastValid = false
+	m.l1.FlushASID(a)
+	m.l2.FlushASID(a)
+	m.pwc.FlushASID(a)
+}
+
 // InvalidatePage models INVLPG after the guest OS unmaps or remaps a
 // page: every composite entry covering the mapping is dropped. Because
 // composite entries may be cached at 4K grain even for larger guest
@@ -599,29 +610,37 @@ func (m *MMU) nativeWalk(va uint64, cycles uint64) (Result, *Fault) {
 // consumes them. A non-nil fault (nested dimension failed mid-walk)
 // takes precedence over !ok at the caller.
 func (m *MMU) walkGuestTable(va uint64, cycles *uint64, nested bool) (pa uint64, size addr.PageSize, ok bool, fault *Fault) {
-	m.refBuf = m.refBuf[:0]
-	pa, size, refs, ok := m.gPT.Walk(va, m.refBuf)
-	m.refBuf = refs
-
+	// The PWC is probed before the walk (it always was probed, success
+	// or fault) so the walk can skip materializing references the
+	// charging loop below would never read; WalkFrom still emits the
+	// leaf (or faulting) reference, matching Walk's clamped refs[skip:].
 	skip := 0
 	if !m.cfg.DisablePWC {
 		skip = m.pwc.SkipLevel(va)
-		if skip > len(refs)-1 {
-			skip = len(refs) - 1 // always perform the leaf reference
-		}
 	}
-	for _, ref := range refs[skip:] {
+	m.refBuf = m.refBuf[:0]
+	pa, size, refs, ok := m.gPT.WalkFrom(va, skip, m.refBuf)
+	m.refBuf = refs
+
+	// The ref count is accumulated locally and flushed to the stats
+	// struct once (including on the fault path, where only the refs
+	// performed before the abort count), not read-modify-written per
+	// reference.
+	n := uint64(0)
+	for _, ref := range refs {
 		physAddr := ref.Addr
 		if nested {
 			hpa, _, f := m.nestedTranslate(ref.Addr, cycles)
 			if f != nil {
+				m.stats.WalkMemRefs += n
 				return 0, 0, false, f
 			}
 			physAddr = hpa
 		}
-		m.stats.WalkMemRefs++
+		n++
 		*cycles += m.ptc.Access(physAddr)
 	}
+	m.stats.WalkMemRefs += n
 	if ok && !m.cfg.DisablePWC {
 		// Interior levels traversed feed the paging-structure caches.
 		leafLvl := refs[len(refs)-1].Level
@@ -658,28 +677,55 @@ func (m *MMU) nestedTranslate(gpa uint64, cycles *uint64) (uint64, addr.PageSize
 	// 2D walk translates its table references through this path).
 	m.stats.NestedWalks++
 	m.nrefBuf = m.nrefBuf[:0]
-	hpa, nsize, refs, ok := m.nPT.Walk(gpa, m.nrefBuf)
-	m.nrefBuf = refs
+	var hpa uint64
+	var nsize addr.PageSize
+	var refs []pagetable.Ref
+	var ok bool
+	skip := 0
+	fast := false
+	if !m.cfg.DisablePWC {
+		// WalkFast runs the walk-cache path and calls back for the skip
+		// level only once success is guaranteed, so the nested PWC is
+		// probed up front (the probe order relative to the walk is
+		// unobservable — the walk never touches the PWC) and the walk
+		// skips materializing references the charging loop would drop.
+		// A fault, which under the old order returned before the PWC
+		// probe, is impossible on the fast path; the general path below
+		// keeps probe-after-walk for that case.
+		hpa, nsize, refs, fast = m.nPT.WalkFast(gpa, func() int {
+			skip = m.npwc.SkipLevel(gpa)
+			return skip
+		}, m.nrefBuf)
+	}
+	if fast {
+		m.nrefBuf = refs
+		ok = true
+	} else {
+		hpa, nsize, refs, ok = m.nPT.Walk(gpa, m.nrefBuf)
+		m.nrefBuf = refs // keep the buffer anchored at its start
+		if ok && !m.cfg.DisablePWC {
+			skip = m.npwc.SkipLevel(gpa)
+			if skip > len(refs)-1 {
+				skip = len(refs) - 1
+			}
+		}
+		refs = refs[skip:]
+	}
 	if !ok {
 		m.stats.NestedFaults++
 		return 0, 0, &Fault{Kind: FaultNested, Addr: gpa}
 	}
-	skip := 0
-	if !m.cfg.DisablePWC {
-		skip = m.npwc.SkipLevel(gpa)
-		if skip > len(refs)-1 {
-			skip = len(refs) - 1
-		}
+	m.stats.WalkMemRefs += uint64(len(refs))
+	cyc := *cycles
+	for _, ref := range refs {
+		cyc += m.ptc.Access(ref.Addr)
 	}
-	for _, ref := range refs[skip:] {
-		m.stats.WalkMemRefs++
-		*cycles += m.ptc.Access(ref.Addr)
-	}
+	*cycles = cyc
 	if !m.cfg.DisablePWC {
 		m.npwc.FillFrom(gpa, skip, refs[len(refs)-1].Level)
 	}
 	if !m.cfg.DisableNestedTLB {
-		m.l2.InsertNested(addr.PageBase(gpa, addr.Page4K), addr.PageBase(hpa, addr.Page4K))
+		m.l2.InsertNested(gpa&^(addr.PageSize4K-1), hpa&^(addr.PageSize4K-1))
 	}
 	return hpa, nsize, nil
 }
@@ -757,12 +803,14 @@ func (m *MMU) insertComposite(gva, hpa uint64, gsize, nsize addr.PageSize) {
 	if nsize < size {
 		size = nsize
 	}
-	base := addr.PageBase(gva, size)
-	hbase := addr.PageBase(hpa, size)
-	m.l1.Insert(base, hbase, size)
 	if size == addr.Page4K {
+		base := gva &^ (addr.PageSize4K - 1)
+		hbase := hpa &^ (addr.PageSize4K - 1)
+		m.l1.Insert(base, hbase, addr.Page4K)
 		m.l2.InsertGuest(base, hbase)
+		return
 	}
+	m.l1.Insert(addr.PageBase(gva, size), addr.PageBase(hpa, size), size)
 }
 
 // L2NestedStats exposes shared-L2 statistics for the §IX.A analysis.

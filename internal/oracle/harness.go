@@ -77,6 +77,18 @@ func pressureConfig() mmu.Config {
 	}
 }
 
+// procState parks one guest process's half of both worlds while the
+// other process runs: the production process handle plus the oracle's
+// per-address-space maps. The ASID equals the process index, so tagged
+// context switches can leave the parked process's TLB entries resident.
+type procState struct {
+	proc     *guestos.Process
+	guest    map[uint64]Mapping
+	escaped  map[uint64]bool
+	primGPA  uint64
+	segPages uint64
+}
+
 // Harness owns one differential scenario.
 type Harness struct {
 	model  *Model
@@ -84,6 +96,12 @@ type Harness struct {
 	vm     *vmm.VM
 	kernel *guestos.Kernel
 	proc   *guestos.Process
+
+	// procs holds both guest processes' parked state; cur indexes the
+	// one whose fields are live in proc/primGPA/guestSegPages and in
+	// the model's guest-dimension maps.
+	procs [2]procState
+	cur   int
 
 	// mmus[0] is the strict geometry, mmus[1] the pressure geometry.
 	mmus [2]*mmu.MMU
@@ -169,6 +187,32 @@ func NewHarnessNested(nested addr.PageSize) (*Harness, error) {
 	if err := proc.MMapAt(addr.Range{Start: HugeBase, Size: hugeSlots << addr.PageShift2M}); err != nil {
 		return nil, err
 	}
+	// A second guest process, symmetric with the first: its own primary
+	// region (distinct gPA backing, so its segment translates
+	// differently), its own demand-paged regions, its own page table.
+	// ASIDs equal process indices; process 0 matches the MMUs' reset
+	// ASID so single-process op streams behave exactly as before.
+	procB, err := h.kernel.CreateProcess("fuzz-b")
+	if err != nil {
+		return nil, err
+	}
+	if err := procB.CreatePrimaryRegionAt(addr.Range{Start: PrimBase, Size: primPages << addr.PageShift4K}); err != nil {
+		return nil, fmt.Errorf("oracle: primary region B: %w", err)
+	}
+	if err := procB.MMapAt(addr.Range{Start: PagedBase, Size: pagedPages << addr.PageShift4K}); err != nil {
+		return nil, err
+	}
+	if err := procB.MMapAt(addr.Range{Start: HugeBase, Size: hugeSlots << addr.PageShift2M}); err != nil {
+		return nil, err
+	}
+	h.procs[1] = procState{
+		proc:     procB,
+		guest:    make(map[uint64]Mapping),
+		escaped:  make(map[uint64]bool),
+		primGPA:  procB.Seg.Translate(PrimBase),
+		segPages: primPages,
+	}
+
 	h.vmmRegs, err = vm.TryEnableVMMSegment()
 	if err != nil {
 		return nil, fmt.Errorf("oracle: VMM segment: %w", err)
@@ -308,18 +352,63 @@ func (h *Harness) step(r *opReader) error {
 		return h.opEscapeGuest(r.next())
 	default: // 16/256: sub-op
 		b := r.next()
-		switch b % 3 {
-		case 0:
+		switch b % 5 {
+		case subEscVMM:
 			return h.opEscapeVMM(r.next(), r.next())
-		case 1:
+		case subBalloon:
 			return h.opBalloon()
-		case 2:
+		case subFlush:
 			for _, m := range h.mmus {
 				m.FlushTLBs()
+			}
+		case subSwitch:
+			h.opContextSwitch(r.next())
+		case subFlushASID:
+			// Flush one address space's cached translations (INVPCID):
+			// pure cache surgery, so the oracle model is untouched — the
+			// differential check proves it never changes a translation.
+			asid := uint16(r.next()) % 2
+			for _, m := range h.mmus {
+				m.FlushASID(asid)
 			}
 		}
 	}
 	return nil
+}
+
+// opContextSwitch swaps the live guest process. Bit 0 of the operand
+// picks the mechanism: tagged (ASID/PCID retag, both processes'
+// entries stay resident under distinct tags) or untagged (the 2014-era
+// full flush). Both worlds swap their per-address-space state; machine-
+// wide state (virtualization, VMM segment, nested maps, filters) stays.
+func (h *Harness) opContextSwitch(b byte) {
+	// Park the live process's half of both worlds...
+	h.procs[h.cur] = procState{
+		proc:     h.proc,
+		guest:    h.model.Guest,
+		escaped:  h.model.EscapedGuest,
+		primGPA:  h.primGPA,
+		segPages: h.guestSegPages,
+	}
+	// ...and wake the other's.
+	h.cur = 1 - h.cur
+	st := h.procs[h.cur]
+	h.proc = st.proc
+	h.model.Guest = st.guest
+	h.model.EscapedGuest = st.escaped
+	h.primGPA = st.primGPA
+	h.guestSegPages = st.segPages
+
+	regs := segment.NewRegisters(PrimBase, h.primGPA, h.guestSegPages<<addr.PageShift4K)
+	tagged := b&1 != 0
+	for _, m := range h.mmus {
+		if tagged {
+			m.ContextSwitchASID(h.proc.PT, regs, uint16(h.cur))
+		} else {
+			m.ContextSwitch(h.proc.PT, regs)
+		}
+	}
+	h.model.GuestSeg = Segment{Base: regs.Base, Limit: regs.Limit, Offset: regs.Offset}
 }
 
 // decodeVA maps two operand bytes onto an address in one of the three

@@ -27,9 +27,11 @@ const (
 	opEscGuest   = 224 // 224-239
 	opSub        = 240 // 240-255
 
-	subEscVMM  = 0
-	subBalloon = 1
-	subFlush   = 2
+	subEscVMM    = 0
+	subBalloon   = 1
+	subFlush     = 2
+	subSwitch    = 3 // context switch; operand bit 0 = ASID-tagged
+	subFlushASID = 4 // INVPCID of operand%2
 
 	flagPlainOnly = 0
 	flagMonotone  = 1
@@ -53,6 +55,7 @@ func namedSeeds() []namedSeed {
 		{"seed-huge-pages", seedHugePages()},
 		{"seed-nested-2m", seedNestedHuge(flagMonotone | flagNested2M)},
 		{"seed-nested-1g", seedNestedHuge(flagNested1G)},
+		{"seed-multi-process", seedMultiProcess()},
 	}
 }
 
@@ -154,6 +157,32 @@ func seedNestedHuge(flag byte) []byte {
 			opAccess, 1, byte(i*11),
 			opToggleVMM,
 			opUnmap, byte(i), byte(i*3),
+		)
+	}
+	return b
+}
+
+// seedMultiProcess time-slices both guest processes, alternating tagged
+// (ASID retag) and untagged (full flush) context switches. Each slice
+// demand-pages, touches all three regions, resizes its own segment and
+// flushes one ASID, so per-address-space TLB tagging, retagging and
+// INVPCID all run under the differential check — a stale cross-ASID
+// entry anywhere in the hierarchy translates through the wrong
+// process's mappings and trips the oracle comparison.
+func seedMultiProcess() []byte {
+	b := []byte{flagPlainOnly}
+	for i := 0; i < 16; i++ {
+		b = append(b,
+			opAccess, 2, byte(i*13), // paged region: per-process demand paging
+			opAccess, 0, byte(i*7), // primary region: per-process segment
+			opMap, byte(i), byte(i*5),
+			opSub, subSwitch, byte(i), // tagged on odd i, flush on even
+			opAccess, 2, byte(i*13), // same selectors, other address space
+			opAccess, 1, byte(i*11),
+			opResize, byte(i*23),
+			opSub, subFlushASID, byte(i),
+			opAccess, 3, byte(i*17),
+			opSub, subSwitch, byte(i+1),
 		)
 	}
 	return b

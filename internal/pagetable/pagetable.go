@@ -33,26 +33,63 @@ var (
 	ErrNotPromotable = errors.New("pagetable: region not promotable")
 )
 
-type entry struct {
-	present bool
-	leaf    bool
-	// accessed and dirty mirror the x86-64 A/D bits: the walker sets
-	// accessed on every traversed entry; software (or a write-aware
-	// caller) sets dirty on leaves.
-	accessed bool
-	dirty    bool
-	// For a leaf, frameBase is the mapped physical page's base address
-	// shifted right by 12 (so 2M leaves hold a 512-aligned value). For
-	// an interior entry, it is the frame of the next-level table.
-	frameBase uint64
-	child     *node // interior only
-}
+// Each page-table entry is one packed uint64, laid out like a real PTE:
+// flag bits low, frame high. The accessed and dirty bits mirror the
+// x86-64 A/D bits: the walker sets accessed on every traversed entry;
+// software (or a write-aware caller) sets dirty on leaves. For a leaf,
+// the frame field is the mapped physical page's base address shifted
+// right by 12 (so 2M leaves hold a 512-aligned value); for an interior
+// entry, it is the frame of the next-level table.
+//
+// Packing matters for simulator speed: a node's 512 words are exactly a
+// 4KB table page, so the walker's read-modify-write of an entry touches
+// one host cache line where the old 24-byte struct layout touched up to
+// two — and page-table-heavy setup clears a third of the memory.
+const (
+	peP     = 1 << 0 // present
+	peL     = 1 << 1 // leaf
+	peA     = 1 << 2 // accessed
+	peD     = 1 << 3 // dirty
+	peShift = 4      // frame field, bits 63:4
+)
 
 type node struct {
-	frame   uint64 // physical frame holding this table page
-	entries [addr.EntriesPerTable]entry
-	used    int // number of present entries, for table reclamation
+	frame uint64 // physical frame holding this table page
+	used  int    // number of present entries, for table reclamation
+	words [addr.EntriesPerTable]uint64
+	// kids holds child-node pointers for interior entries, allocated on
+	// the first child: leaf-only tables (the vast majority) carry none.
+	kids []*node
 }
+
+// setChild installs an interior entry pointing at child.
+func (n *node) setChild(idx uint, child *node) {
+	if n.kids == nil {
+		n.kids = make([]*node, addr.EntriesPerTable)
+	}
+	n.words[idx] = peP | child.frame<<peShift
+	n.kids[idx] = child
+	n.used++
+}
+
+// wcEntry is one walk-cache slot: a host-side shortcut for Walk, keyed
+// by a 2M-aligned va prefix whose path down to a PT (level-3) node has
+// been descended before. Because the three interior PTE addresses are a
+// pure function of the prefix, a cached walk re-emits them verbatim and
+// reads only the PT entry — one load instead of four dependent chases.
+// This is simulator-host state only: the modeled references, accessed
+// bits on leaves, translations, and costs are identical either way.
+type wcEntry struct {
+	tag  uint64                  // va>>21, tagged valid by gen != 0 match
+	gen  uint64                  // table generation the entry was filled under
+	pt   *node                   // the PT node covering the prefix
+	refs [addr.Levels - 1]uint64 // interior PTE addresses, levels 0..2
+}
+
+const (
+	wcSlots = 256 // direct-mapped; covers 512MB of 4K-mapped va
+	wcMask  = wcSlots - 1
+)
 
 // Table is one 4-level page table rooted at a CR3-like frame.
 type Table struct {
@@ -60,11 +97,20 @@ type Table struct {
 	root       *node
 	tablePages uint64 // page-table pages currently allocated
 	mappings   uint64 // live leaf mappings
+
+	// gen invalidates the walk cache wholesale: operations that can free
+	// a table page (Unmap, Promote2M, Destroy) bump it, since a cached
+	// *node must never outlive its page. Map and Remap only add or edit
+	// entry words that cached walks re-read live, so they leave gen
+	// alone.
+	gen uint64
+	wc  [wcSlots]wcEntry
 }
 
 // New creates an empty table, allocating its root page.
 func New(alloc Allocator) (*Table, error) {
-	t := &Table{alloc: alloc}
+	// gen starts at 1 so the zero-valued walk-cache entries never match.
+	t := &Table{alloc: alloc, gen: 1}
 	root, err := t.newNode()
 	if err != nil {
 		return nil, err
@@ -114,25 +160,25 @@ func (t *Table) Map(va, pa uint64, s addr.PageSize) error {
 	target := leafLevel(s)
 	n := t.root
 	for lvl := 0; lvl < target; lvl++ {
-		e := &n.entries[addr.Index(va, lvl)]
-		if e.present && e.leaf {
+		idx := addr.Index(va, lvl)
+		w := n.words[idx]
+		if w&(peP|peL) == peP|peL {
 			return ErrOverlap // a larger page already covers this va
 		}
-		if !e.present {
+		if w&peP == 0 {
 			child, err := t.newNode()
 			if err != nil {
 				return err
 			}
-			*e = entry{present: true, frameBase: child.frame, child: child}
-			n.used++
+			n.setChild(idx, child)
 		}
-		n = e.child
+		n = n.kids[idx]
 	}
-	e := &n.entries[addr.Index(va, target)]
-	if e.present {
+	idx := addr.Index(va, target)
+	if n.words[idx]&peP != 0 {
 		return ErrOverlap // smaller or equal mapping already present
 	}
-	*e = entry{present: true, leaf: true, frameBase: pa >> addr.PageShift4K}
+	n.words[idx] = peP | peL | (pa>>addr.PageShift4K)<<peShift
 	n.used++
 	t.mappings++
 	return nil
@@ -149,24 +195,26 @@ func (t *Table) Unmap(va uint64, s addr.PageSize) error {
 	n := t.root
 	for lvl := 0; lvl < target; lvl++ {
 		path[lvl] = n
-		e := &n.entries[addr.Index(va, lvl)]
-		if !e.present {
+		idx := addr.Index(va, lvl)
+		w := n.words[idx]
+		if w&peP == 0 {
 			return ErrNotMapped
 		}
-		if e.leaf {
+		if w&peL != 0 {
 			return ErrSizeClash
 		}
-		n = e.child
+		n = n.kids[idx]
 	}
 	path[target] = n
-	e := &n.entries[addr.Index(va, target)]
-	if !e.present {
+	idx := addr.Index(va, target)
+	w := n.words[idx]
+	if w&peP == 0 {
 		return ErrNotMapped
 	}
-	if !e.leaf {
+	if w&peL == 0 {
 		return ErrSizeClash
 	}
-	*e = entry{}
+	n.words[idx] = 0
 	n.used--
 	t.mappings--
 	// Reclaim empty tables bottom-up (never the root).
@@ -176,13 +224,15 @@ func (t *Table) Unmap(va uint64, s addr.PageSize) error {
 			break
 		}
 		parent := path[lvl-1]
-		pe := &parent.entries[addr.Index(va, lvl-1)]
-		*pe = entry{}
+		pidx := addr.Index(va, lvl-1)
+		parent.words[pidx] = 0
+		parent.kids[pidx] = nil
 		parent.used--
 		if err := t.alloc.FreeFrame(cur.frame); err != nil {
 			return fmt.Errorf("pagetable: reclaiming table page: %w", err)
 		}
 		t.tablePages--
+		t.gen++ // a table page was freed; cached node pointers may dangle
 	}
 	return nil
 }
@@ -200,16 +250,76 @@ type Ref struct {
 // A translation failure returns ok=false with the references performed
 // before the walk aborted — real walkers touch memory before faulting.
 func (t *Table) Walk(va uint64, refs []Ref) (pa uint64, s addr.PageSize, out []Ref, ok bool) {
-	n := t.root
-	for lvl := 0; lvl < addr.Levels; lvl++ {
-		idx := addr.Index(va, lvl)
-		refs = append(refs, Ref{Addr: n.frame<<addr.PageShift4K + uint64(idx)*8, Level: lvl})
-		e := &n.entries[idx]
-		if !e.present {
+	return t.WalkFrom(va, 0, refs)
+}
+
+// WalkFrom is Walk with a paging-structure-cache skip applied at the
+// source: the descent still reads (and accessed-marks) every level, but
+// references for levels below skip are not emitted — except the walk's
+// final reference (the leaf, or the faulting level), which is always
+// emitted, so the result equals Walk's refs[min(skip, len(refs)-1):]
+// exactly without materializing the skipped prefix.
+func (t *Table) WalkFrom(va uint64, skip int, refs []Ref) (pa uint64, s addr.PageSize, out []Ref, ok bool) {
+	// Walk-cache fast path: a previous walk of this 2M prefix reached a
+	// PT node. Its three interior PTE addresses are a pure function of
+	// the prefix, so only the PT entry itself is read live. The entry
+	// word is re-read on every walk, so concurrent Map/Remap edits are
+	// observed; only page-freeing operations invalidate (via gen).
+	e := &t.wc[va>>21&wcMask]
+	if e.tag == va>>21 && e.gen == t.gen {
+		n := e.pt
+		idx := va >> addr.PageShift4K & (addr.EntriesPerTable - 1)
+		if skip > addr.LvlPT {
+			skip = addr.LvlPT
+		}
+		for lvl := skip; lvl < addr.LvlPT; lvl++ {
+			refs = append(refs, Ref{Addr: e.refs[lvl], Level: lvl})
+		}
+		refs = append(refs, Ref{Addr: n.frame<<addr.PageShift4K + idx*8, Level: addr.LvlPT})
+		w := n.words[idx]
+		if w&peP == 0 {
 			return 0, 0, refs, false
 		}
-		e.accessed = true
-		if e.leaf {
+		if w&peA == 0 {
+			n.words[idx] = w | peA
+		}
+		return w>>peShift<<addr.PageShift4K + va&(addr.PageSize4K-1),
+			addr.Page4K, refs, true
+	}
+
+	n := t.root
+	// frame tracks the current table page without re-reading the node
+	// header: after the root it comes from the parent's entry word, so
+	// each level touches exactly one host cache line of table state.
+	frame := n.frame
+	shift := uint(addr.PageShift4K + 9*(addr.Levels-1))
+	// interior collects the skipped levels' PTE addresses anyway — the
+	// walk cache needs all three on a 4K-leaf fill regardless of skip.
+	var interior [addr.Levels - 1]uint64
+	for lvl := 0; lvl < addr.Levels; lvl++ {
+		idx := va >> shift & (addr.EntriesPerTable - 1)
+		shift -= 9
+		a := frame<<addr.PageShift4K + idx*8
+		if lvl < addr.Levels-1 {
+			interior[lvl] = a
+		}
+		if lvl >= skip {
+			refs = append(refs, Ref{Addr: a, Level: lvl})
+		}
+		w := n.words[idx]
+		if w&peP == 0 {
+			if lvl < skip {
+				refs = append(refs, Ref{Addr: a, Level: lvl})
+			}
+			return 0, 0, refs, false
+		}
+		if w&peA == 0 {
+			// Store only when the bit actually flips: re-walked entries
+			// (the common case) then leave the node line clean instead of
+			// forcing a write-back per walk.
+			n.words[idx] = w | peA
+		}
+		if w&peL != 0 {
 			switch lvl {
 			case addr.LvlPDPT:
 				s = addr.Page1G
@@ -220,12 +330,60 @@ func (t *Table) Walk(va uint64, refs []Ref) (pa uint64, s addr.PageSize, out []R
 			default:
 				panic("pagetable: leaf at PML4 level")
 			}
-			base := e.frameBase << addr.PageShift4K
+			if lvl < skip {
+				refs = append(refs, Ref{Addr: a, Level: lvl})
+			}
+			base := w >> peShift << addr.PageShift4K
+			if lvl == addr.LvlPT {
+				// Remember the path for subsequent walks in this 2M span.
+				// Only 4K-leaf paths are cached: they are the only ones
+				// whose interior shape the fast path can assume.
+				*e = wcEntry{tag: va >> 21, gen: t.gen, pt: n}
+				e.refs = interior
+			}
 			return base + addr.Offset(va, s), s, refs, true
 		}
-		n = e.child
+		frame = w >> peShift
+		n = n.kids[idx]
 	}
 	panic("pagetable: walk fell off the tree")
+}
+
+// WalkFast attempts the walk-cache fast path only: if the 2M prefix's
+// PT node is cached, current, and holds a present leaf for va, it
+// performs the cached walk — emitting references for levels ≥ skipOf()
+// plus the leaf — and returns fast=true. Otherwise it touches nothing
+// and returns fast=false for the caller to fall back to Walk.
+//
+// skipOf runs only once success is guaranteed, so a skip source that
+// must not be probed on walks that fault (the nested PWC, whose LRU
+// state a fault-path probe would perturb) can be deferred into it: a
+// fast walk cannot fault, making probe-before-emit observationally
+// identical to probe-after-walk.
+func (t *Table) WalkFast(va uint64, skipOf func() int, refs []Ref) (pa uint64, s addr.PageSize, out []Ref, fast bool) {
+	e := &t.wc[va>>21&wcMask]
+	if e.tag != va>>21 || e.gen != t.gen {
+		return 0, 0, refs, false
+	}
+	n := e.pt
+	idx := va >> addr.PageShift4K & (addr.EntriesPerTable - 1)
+	w := n.words[idx]
+	if w&peP == 0 {
+		return 0, 0, refs, false
+	}
+	skip := skipOf()
+	if skip > addr.LvlPT {
+		skip = addr.LvlPT
+	}
+	for lvl := skip; lvl < addr.LvlPT; lvl++ {
+		refs = append(refs, Ref{Addr: e.refs[lvl], Level: lvl})
+	}
+	refs = append(refs, Ref{Addr: n.frame<<addr.PageShift4K + idx*8, Level: addr.LvlPT})
+	if w&peA == 0 {
+		n.words[idx] = w | peA
+	}
+	return w>>peShift<<addr.PageShift4K + va&(addr.PageSize4K-1),
+		addr.Page4K, refs, true
 }
 
 // Translate is Walk without reference recording, for software paths
@@ -233,11 +391,12 @@ func (t *Table) Walk(va uint64, refs []Ref) (pa uint64, s addr.PageSize, out []R
 func (t *Table) Translate(va uint64) (pa uint64, s addr.PageSize, ok bool) {
 	n := t.root
 	for lvl := 0; lvl < addr.Levels; lvl++ {
-		e := &n.entries[addr.Index(va, lvl)]
-		if !e.present {
+		idx := addr.Index(va, lvl)
+		w := n.words[idx]
+		if w&peP == 0 {
 			return 0, 0, false
 		}
-		if e.leaf {
+		if w&peL != 0 {
 			switch lvl {
 			case addr.LvlPDPT:
 				s = addr.Page1G
@@ -246,9 +405,9 @@ func (t *Table) Translate(va uint64) (pa uint64, s addr.PageSize, ok bool) {
 			default:
 				s = addr.Page4K
 			}
-			return e.frameBase<<addr.PageShift4K + addr.Offset(va, s), s, true
+			return w>>peShift<<addr.PageShift4K + addr.Offset(va, s), s, true
 		}
-		n = e.child
+		n = n.kids[idx]
 	}
 	return 0, 0, false
 }
@@ -264,34 +423,37 @@ func (t *Table) Promote2M(va uint64) error {
 	// Locate the PT covering the region.
 	n := t.root
 	for lvl := 0; lvl < addr.LvlPT; lvl++ {
-		e := &n.entries[addr.Index(va, lvl)]
-		if !e.present || e.leaf {
+		idx := addr.Index(va, lvl)
+		w := n.words[idx]
+		if w&peP == 0 || w&peL != 0 {
 			return ErrNotPromotable
 		}
-		n = e.child
+		n = n.kids[idx]
 	}
-	base := n.entries[0]
-	if !base.present || !base.leaf || base.frameBase%512 != 0 {
+	baseFrame := n.words[0] >> peShift
+	if n.words[0]&(peP|peL) != peP|peL || baseFrame%512 != 0 {
 		return ErrNotPromotable
 	}
 	for i := 1; i < addr.EntriesPerTable; i++ {
-		e := n.entries[i]
-		if !e.present || !e.leaf || e.frameBase != base.frameBase+uint64(i) {
+		w := n.words[i]
+		if w&(peP|peL) != peP|peL || w>>peShift != baseFrame+uint64(i) {
 			return ErrNotPromotable
 		}
 	}
 	// Install the 2M leaf in the PD and free the PT page.
 	pd := t.root
 	for lvl := 0; lvl < addr.LvlPD; lvl++ {
-		pd = pd.entries[addr.Index(va, lvl)].child
+		pd = pd.kids[addr.Index(va, lvl)]
 	}
-	pde := &pd.entries[addr.Index(va, addr.LvlPD)]
-	*pde = entry{present: true, leaf: true, frameBase: base.frameBase}
+	pdi := addr.Index(va, addr.LvlPD)
+	pd.words[pdi] = peP | peL | baseFrame<<peShift
+	pd.kids[pdi] = nil
 	if err := t.alloc.FreeFrame(n.frame); err != nil {
 		return fmt.Errorf("pagetable: freeing promoted PT: %w", err)
 	}
 	t.tablePages--
 	t.mappings -= addr.EntriesPerTable - 1
+	t.gen++ // the PT page was freed; drop any cached path through it
 	return nil
 }
 
@@ -301,11 +463,12 @@ func (t *Table) Promote2M(va uint64) error {
 func (t *Table) Remap(va, newPA uint64) error {
 	n := t.root
 	for lvl := 0; lvl < addr.Levels; lvl++ {
-		e := &n.entries[addr.Index(va, lvl)]
-		if !e.present {
+		idx := addr.Index(va, lvl)
+		w := n.words[idx]
+		if w&peP == 0 {
 			return ErrNotMapped
 		}
-		if e.leaf {
+		if w&peL != 0 {
 			var s addr.PageSize
 			switch lvl {
 			case addr.LvlPDPT:
@@ -318,10 +481,10 @@ func (t *Table) Remap(va, newPA uint64) error {
 			if !addr.IsAligned(newPA, s) {
 				return ErrMisaligned
 			}
-			e.frameBase = newPA >> addr.PageShift4K
+			n.words[idx] = w&(peP|peL|peA|peD) | (newPA>>addr.PageShift4K)<<peShift
 			return nil
 		}
-		n = e.child
+		n = n.kids[idx]
 	}
 	return ErrNotMapped
 }
@@ -332,16 +495,16 @@ func (t *Table) Remap(va, newPA uint64) error {
 func (t *Table) MarkDirty(va uint64) error {
 	n := t.root
 	for lvl := 0; lvl < addr.Levels; lvl++ {
-		e := &n.entries[addr.Index(va, lvl)]
-		if !e.present {
+		idx := addr.Index(va, lvl)
+		w := n.words[idx]
+		if w&peP == 0 {
 			return ErrNotMapped
 		}
-		if e.leaf {
-			e.dirty = true
-			e.accessed = true
+		if w&peL != 0 {
+			n.words[idx] = w | peD | peA
 			return nil
 		}
-		n = e.child
+		n = n.kids[idx]
 	}
 	return ErrNotMapped
 }
@@ -357,14 +520,14 @@ func (t *Table) harvest(n *node, lvl int, vaBase uint64, fn func(va uint64, s ad
 	shift := uint(addr.PageShift4K + 9*(addr.Levels-1-lvl))
 	found := 0
 	for i := 0; i < addr.EntriesPerTable; i++ {
-		e := &n.entries[i]
-		if !e.present {
+		w := n.words[i]
+		if w&peP == 0 {
 			continue
 		}
 		va := vaBase | uint64(i)<<shift
-		if e.leaf {
-			if e.dirty {
-				e.dirty = false
+		if w&peL != 0 {
+			if w&peD != 0 {
+				n.words[i] = w &^ peD
 				var s addr.PageSize
 				switch lvl {
 				case addr.LvlPDPT:
@@ -379,7 +542,7 @@ func (t *Table) harvest(n *node, lvl int, vaBase uint64, fn func(va uint64, s ad
 			}
 			continue
 		}
-		found += t.harvest(e.child, lvl+1, va, fn)
+		found += t.harvest(n.kids[i], lvl+1, va, fn)
 	}
 	return found
 }
@@ -390,18 +553,19 @@ func (t *Table) harvest(n *node, lvl int, vaBase uint64, fn func(va uint64, s ad
 func (t *Table) Accessed(va uint64, clear bool) (bool, error) {
 	n := t.root
 	for lvl := 0; lvl < addr.Levels; lvl++ {
-		e := &n.entries[addr.Index(va, lvl)]
-		if !e.present {
+		idx := addr.Index(va, lvl)
+		w := n.words[idx]
+		if w&peP == 0 {
 			return false, ErrNotMapped
 		}
-		if e.leaf {
-			was := e.accessed
+		if w&peL != 0 {
+			was := w&peA != 0
 			if clear {
-				e.accessed = false
+				n.words[idx] = w &^ peA
 			}
 			return was, nil
 		}
-		n = e.child
+		n = n.kids[idx]
 	}
 	return false, ErrNotMapped
 }
@@ -415,12 +579,12 @@ func (t *Table) VisitLeaves(fn func(va, pa uint64, s addr.PageSize) bool) {
 func (t *Table) visit(n *node, lvl int, vaBase uint64, fn func(va, pa uint64, s addr.PageSize) bool) bool {
 	shift := uint(addr.PageShift4K + 9*(addr.Levels-1-lvl))
 	for i := 0; i < addr.EntriesPerTable; i++ {
-		e := &n.entries[i]
-		if !e.present {
+		w := n.words[i]
+		if w&peP == 0 {
 			continue
 		}
 		va := vaBase | uint64(i)<<shift
-		if e.leaf {
+		if w&peL != 0 {
 			var s addr.PageSize
 			switch lvl {
 			case addr.LvlPDPT:
@@ -430,12 +594,12 @@ func (t *Table) visit(n *node, lvl int, vaBase uint64, fn func(va, pa uint64, s 
 			default:
 				s = addr.Page4K
 			}
-			if !fn(va, e.frameBase<<addr.PageShift4K, s) {
+			if !fn(va, w>>peShift<<addr.PageShift4K, s) {
 				return false
 			}
 			continue
 		}
-		if !t.visit(e.child, lvl+1, va, fn) {
+		if !t.visit(n.kids[i], lvl+1, va, fn) {
 			return false
 		}
 	}
@@ -449,14 +613,14 @@ func (t *Table) Destroy() error {
 		return err
 	}
 	t.root = nil
+	t.gen++
 	return nil
 }
 
 func (t *Table) destroy(n *node, lvl int) error {
-	for i := range n.entries {
-		e := &n.entries[i]
-		if e.present && !e.leaf {
-			if err := t.destroy(e.child, lvl+1); err != nil {
+	for i, w := range n.words {
+		if w&(peP|peL) == peP {
+			if err := t.destroy(n.kids[i], lvl+1); err != nil {
 				return err
 			}
 		}

@@ -215,6 +215,38 @@ func (m *Memory) FreeFrame(f uint64) error {
 	return nil
 }
 
+// AllocRun allocates the lowest-numbered run of available frames, at
+// most max frames long, and returns its first frame and length (>= 1).
+// It is exactly equivalent to n calls of AllocContiguous(1, 1) for the
+// n frames it returns — a single-frame allocation always takes the
+// lowest available frame, and every frame of the run is by construction
+// lower than any frame a later call could pick — but it walks the
+// bitmaps once instead of once per frame. Chunked VM backing uses it
+// to place tens of thousands of 4K chunks without O(chunks) scans.
+func (m *Memory) AllocRun(max uint64) (uint64, uint64, error) {
+	if max == 0 {
+		return 0, 0, ErrNoContiguous
+	}
+	for m.hint < len(m.alloc) && ^(m.alloc[m.hint]|m.offline[m.hint]|m.bad[m.hint]) == 0 {
+		m.hint++
+	}
+	start := uint64(m.hint) * 64
+	for start < m.frames {
+		w, bit := start/64, start%64
+		avail := ^(m.alloc[w] | m.offline[w] | m.bad[w]) >> bit
+		if avail == 0 {
+			start = (w + 1) * 64
+			continue
+		}
+		start += uint64(bits.TrailingZeros64(avail))
+		run := m.freeRunLen(start, max)
+		m.markAllocated(start, run)
+		m.numAlloc += run
+		return start, run, nil
+	}
+	return 0, 0, ErrNoContiguous
+}
+
 // AllocContiguous allocates n contiguous available frames whose first
 // frame is aligned to alignFrames (a power of two, >= 1). It returns the
 // first frame number. This is the primitive behind boot-time segment

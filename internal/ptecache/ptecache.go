@@ -36,17 +36,22 @@ var Default = Config{
 
 const lineShift = 6 // 64-byte lines
 
-type line struct {
-	valid bool
-	tag   uint64
-	lru   uint64
-}
+// tagValid marks a live line in its packed tag word. Line addresses are
+// phys>>6 ≤ 2^58, so the address and the valid bit never collide and a
+// probe is one word compare per way — the tag words of an 8-way set
+// share a single 64-byte cache line of the simulator's own memory,
+// where the old struct-per-line layout spread them over three.
+const tagValid = 1 << 63
 
 // Cache is the PTE cost model. Not safe for concurrent use.
 type Cache struct {
-	cfg   Config
-	sets  int
-	lines []line
+	cfg  Config
+	sets int
+	// Structure-of-arrays line storage, sets*ways, row-major: packed
+	// valid|lineAddr tag words, with LRU stamps touched only on hit or
+	// fill.
+	tags []uint64
+	lrus []uint64
 	// mask indexes power-of-two set counts without division (all shipped
 	// geometries are powers of two); the modulo path is a fallback.
 	mask   uint64
@@ -63,11 +68,12 @@ func New(cfg Config) *Cache {
 	}
 	sets := cfg.Lines / cfg.Ways
 	return &Cache{
-		cfg:   cfg,
-		sets:  sets,
-		lines: make([]line, cfg.Lines),
-		mask:  uint64(sets - 1),
-		pow2:  sets&(sets-1) == 0,
+		cfg:  cfg,
+		sets: sets,
+		tags: make([]uint64, cfg.Lines),
+		lrus: make([]uint64, cfg.Lines),
+		mask: uint64(sets - 1),
+		pow2: sets&(sets-1) == 0,
 	}
 }
 
@@ -86,23 +92,39 @@ func (c *Cache) Access(phys uint64) uint64 {
 			set = -set
 		}
 	}
-	ways := c.lines[set*c.cfg.Ways : (set+1)*c.cfg.Ways]
-	victim := 0
-	for i := range ways {
-		w := &ways[i]
-		if w.valid && w.tag == lineAddr {
-			w.lru = c.clock
+	key := tagValid | lineAddr
+	b := set * c.cfg.Ways
+	end := b + c.cfg.Ways
+	// Hit scan first, victim selection only on a confirmed miss: the
+	// common hit touches nothing but the set's tag words. (A hit can sit
+	// after an invalid way, so the hit scan must cover every way before
+	// a miss is declared.) The full-capacity subslice lets the range
+	// loop run without per-way bounds checks — this is the innermost
+	// loop of every simulated page walk.
+	tags := c.tags[b:end:end]
+	for j, t := range tags {
+		if t == key {
+			c.lrus[b+j] = c.clock
 			return c.cfg.HitCycles
-		}
-		if !ways[victim].valid {
-			continue
-		}
-		if !w.valid || w.lru < ways[victim].lru {
-			victim = i
 		}
 	}
 	c.misses++
-	ways[victim] = line{valid: true, tag: lineAddr, lru: c.clock}
+	// Victim choice matches the old layout exactly: first invalid way
+	// in scan order, else the minimum-LRU way.
+	victim := 0
+	lrus := c.lrus[b:end:end]
+	vLRU := lrus[0]
+	for j, t := range tags {
+		if t&tagValid == 0 {
+			victim = j
+			break
+		}
+		if l := lrus[j]; l < vLRU {
+			victim, vLRU = j, l
+		}
+	}
+	tags[victim] = key
+	lrus[victim] = c.clock
 	return c.cfg.MissCycles
 }
 
@@ -111,7 +133,7 @@ func (c *Cache) Stats() (refs, misses uint64) { return c.refs, c.misses }
 
 // Flush invalidates all lines.
 func (c *Cache) Flush() {
-	for i := range c.lines {
-		c.lines[i].valid = false
+	for i := range c.tags {
+		c.tags[i] = 0
 	}
 }

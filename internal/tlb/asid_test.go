@@ -114,6 +114,14 @@ func TestL1ASIDAndInvalidate(t *testing.T) {
 	if _, _, hit := l1.Lookup(2 << addr.PageShift1G); !hit {
 		t.Error("unrelated 1G entry dropped by Invalidate")
 	}
+
+	// FlushASID fans out to every size structure too.
+	l1.FlushASID(0)
+	for _, va := range []uint64{0x1000, 2 << addr.PageShift1G} {
+		if _, _, hit := l1.Lookup(va); hit {
+			t.Errorf("va %#x survived FlushASID", va)
+		}
+	}
 }
 
 // TestL2FlushASIDInvalidate covers the L2 wrappers the MMU's context-
@@ -141,6 +149,16 @@ func TestL2FlushASIDInvalidate(t *testing.T) {
 	}
 	l2.SetASID(0)
 
+	// FlushASID is surgical: the current address space's guest entries
+	// go, per-VM nested entries survive.
+	l2.FlushASID(0)
+	if _, hit := l2.LookupGuest(0x5000); hit {
+		t.Error("guest entry survived FlushASID")
+	}
+	if _, hit := l2.LookupNested(0x9000); !hit {
+		t.Error("nested entry dropped by FlushASID")
+	}
+
 	l2.Flush()
 	if l2.Occupancy() != 0 {
 		t.Errorf("occupancy after Flush = %d", l2.Occupancy())
@@ -163,5 +181,9 @@ func TestPWCSetASID(t *testing.T) {
 	p.SetASID(0)
 	if got := p.SkipLevel(va); got != 3 {
 		t.Errorf("skip = %d after ASID round trip, want 3", got)
+	}
+	p.FlushASID(0)
+	if got := p.SkipLevel(va); got != 0 {
+		t.Errorf("skip = %d after FlushASID, want 0", got)
 	}
 }

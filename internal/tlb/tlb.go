@@ -44,23 +44,64 @@ type Entry struct {
 	Size addr.PageSize
 }
 
-type slot struct {
-	valid bool
-	kind  EntryKind
-	asid  uint16
-	vpn   uint64
-	ppn   uint64
-	size  addr.PageSize
-	lru   uint64
+// Tag-word layout. Each way's (valid, kind, asid, vpn) is packed into
+// one uint64 so a set probe is ≤ways word compares against a
+// precomputed key — the set's tag words share a cache line, where the
+// old struct-per-way layout spread a 4-way set over three, and the
+// ASID comparison costs no extra load or branch because it is part of
+// the word.
+//
+//	bit 63      valid
+//	bit 62      kind (0 guest, 1 nested)
+//	bits 61:46  asid (guest entries; zero for ASID-blind nested entries)
+//	bits 45:0   vpn
+//
+// VPNs are page numbers — va>>shift with shift ≥ 12 everywhere in the
+// simulator — so 48-bit canonical virtual addresses and any guest-
+// physical address below 2^58 fit the 46-bit field with room to spare;
+// vpnMax enforces the contract (Insert panics, probes of out-of-range
+// VPNs miss by construction because no tag can hold them).
+//
+// A guest entry hits only when the probe key carries the same ASID it
+// was inserted under, so two address spaces' translations of the same
+// vpn coexist in one set as distinct tag words. PPNs and LRU stamps
+// live in parallel arrays, touched only on hit, insert or victim
+// search.
+const (
+	tagValid  = 1 << 63
+	tagKind   = 1 << 62
+	asidShift = 46
+	asidMask  = uint64(0xFFFF) << asidShift
+	vpnMax    = 1 << asidShift // first VPN that no longer fits the tag word
+)
+
+// key builds the packed probe word for (kind, vpn) under the cache's
+// current ASID. Nested entries are per-VM, not per-process, so their
+// keys leave the ASID field zero and context switches do not mask them.
+func (c *SetAssoc) key(kind EntryKind, vpn uint64) uint64 {
+	if kind == KindNested {
+		return tagValid | tagKind | vpn
+	}
+	return tagValid | uint64(c.curASID)<<asidShift | vpn
+}
+
+// plainKey builds the ASID-agnostic (kind, vpn) word used with asidMask
+// stripped off a stored tag, for operations that match every address
+// space (INVLPG-style shootdowns).
+func plainKey(kind EntryKind, vpn uint64) uint64 {
+	return tagValid | uint64(kind)<<62 | vpn
 }
 
 // SetAssoc is a generic set-associative translation cache with LRU
 // replacement. Entries are keyed by (kind, vpn).
 type SetAssoc struct {
-	name  string
-	sets  int
-	ways  int
-	slots []slot // sets*ways, row-major
+	name string
+	sets int
+	ways int
+	// Structure-of-arrays entry storage, sets*ways, row-major.
+	tags []uint64 // packed valid|kind|asid|vpn words (see layout above)
+	ppns []uint64 // target page numbers
+	lrus []uint64 // LRU stamps (clock at last hit/insert)
 	// mask indexes power-of-two set counts without division; every
 	// shipped geometry (Table VI and the PWC sizes) is a power of two,
 	// so the modulo fallback exists only for exotic test geometries.
@@ -72,6 +113,11 @@ type SetAssoc struct {
 	// evictions counts inserts that displaced a different valid entry
 	// (refreshing an entry in place is not an eviction).
 	evictions uint64
+	// occupied tracks valid entries so empty-structure probes (e.g. the
+	// L1 2M/1G TLBs of a 4K-only run) skip the set scan. The lookup and
+	// clock counters still advance on the skipped probe, so state
+	// evolution is exactly that of a scan that found nothing.
+	occupied int
 	// curASID tags guest entries with the running process's address-
 	// space identifier (PCID). Guest entries only hit under the ASID
 	// they were inserted with; nested entries are per-VM and ASID-blind.
@@ -87,26 +133,23 @@ func NewSetAssoc(name string, entries, ways int) *SetAssoc {
 	}
 	sets := entries / ways
 	return &SetAssoc{
-		name:  name,
-		sets:  sets,
-		ways:  ways,
-		slots: make([]slot, entries),
-		mask:  uint64(sets - 1),
-		pow2:  sets&(sets-1) == 0,
+		name: name,
+		sets: sets,
+		ways: ways,
+		tags: make([]uint64, entries),
+		ppns: make([]uint64, entries),
+		lrus: make([]uint64, entries),
+		mask: uint64(sets - 1),
+		pow2: sets&(sets-1) == 0,
 	}
 }
 
-func (c *SetAssoc) set(vpn uint64) []slot {
-	var s int
+// base returns the first slot index of vpn's set.
+func (c *SetAssoc) base(vpn uint64) int {
 	if c.pow2 {
-		s = int(vpn & c.mask)
-	} else {
-		s = int(vpn) % c.sets
-		if s < 0 {
-			s = -s
-		}
+		return int(vpn&c.mask) * c.ways
 	}
-	return c.slots[s*c.ways : (s+1)*c.ways]
+	return int(vpn%uint64(c.sets)) * c.ways
 }
 
 // Lookup searches for (kind, vpn); on a hit it refreshes LRU state and
@@ -114,14 +157,41 @@ func (c *SetAssoc) set(vpn uint64) []slot {
 func (c *SetAssoc) Lookup(kind EntryKind, vpn uint64) (ppn uint64, hit bool) {
 	c.lookups++
 	c.clock++
-	set := c.set(vpn)
-	for i := range set {
-		s := &set[i]
-		if s.valid && s.kind == kind && s.vpn == vpn &&
-			(kind == KindNested || s.asid == c.curASID) {
-			s.lru = c.clock
+	if c.occupied == 0 || vpn >= vpnMax {
+		// Nothing cached (or no tag word can hold the vpn): miss without
+		// scanning the set.
+		return 0, false
+	}
+	k := c.key(kind, vpn)
+	b := c.base(vpn)
+	// Unrolled 4-way probe: every shipped TLB/PWC geometry except the
+	// 2-way PML4E cache is 4-way (Table VI). The key carries the ASID,
+	// so a foreign address space's entry for the same vpn is just a
+	// non-matching word — the probe is four pure compares.
+	if c.ways == 4 {
+		t := c.tags[b : b+4 : b+4]
+		j := -1
+		if t[0] == k {
+			j = b
+		} else if t[1] == k {
+			j = b + 1
+		} else if t[2] == k {
+			j = b + 2
+		} else if t[3] == k {
+			j = b + 3
+		}
+		if j < 0 {
+			return 0, false
+		}
+		c.lrus[j] = c.clock
+		c.hits++
+		return c.ppns[j], true
+	}
+	for j := b; j < b+c.ways; j++ {
+		if c.tags[j] == k {
+			c.lrus[j] = c.clock
 			c.hits++
-			return s.ppn, true
+			return c.ppns[j], true
 		}
 	}
 	return 0, false
@@ -132,9 +202,11 @@ func (c *SetAssoc) SetASID(a uint16) { c.curASID = a }
 
 // FlushASID invalidates the guest entries of one address space.
 func (c *SetAssoc) FlushASID(a uint16) {
-	for i := range c.slots {
-		if c.slots[i].kind == KindGuest && c.slots[i].asid == a {
-			c.slots[i].valid = false
+	want := uint64(tagValid) | uint64(a)<<asidShift
+	for i, t := range c.tags {
+		if t&(tagValid|tagKind|asidMask) == want {
+			c.tags[i] = 0
+			c.occupied--
 		}
 	}
 }
@@ -142,55 +214,119 @@ func (c *SetAssoc) FlushASID(a uint16) {
 // Insert installs an entry, evicting the LRU way of its set if needed.
 func (c *SetAssoc) Insert(e Entry) {
 	c.clock++
-	set := c.set(e.VPN)
-	victim := 0
-	for i := range set {
-		s := &set[i]
-		if s.valid && s.kind == e.Kind && s.vpn == e.VPN &&
-			(e.Kind == KindNested || s.asid == c.curASID) {
-			victim = i // refresh in place
-			break
+	if e.VPN >= vpnMax {
+		panic(fmt.Sprintf("tlb: %s: VPN %#x exceeds the 46-bit tag-word field", c.name, e.VPN))
+	}
+	k := c.key(e.Kind, e.VPN)
+	b := c.base(e.VPN)
+	// One interleaved scan, not match-then-victim passes: the victim is
+	// the refresh-match or the first invalid way, whichever appears
+	// first in way order, else the LRU way — an invalid way before a
+	// matching one wins, exactly as the struct-layout code behaved.
+	// A way's scan test is match-or-invalid in one condition: an invalid
+	// tag word can never equal k (k carries the valid bit), so the two
+	// cannot both hold and the first way satisfying either wins, exactly
+	// as the generic loop's paired break conditions do.
+	if c.ways == 4 {
+		// Unrolled like Lookup: the LRU words load only when no way
+		// matched or was free. Way indices stay relative (masked to the
+		// subslice length) so every store below is bounds-check free.
+		t := c.tags[b : b+4 : b+4]
+		l := c.lrus[b : b+4 : b+4]
+		v := 0
+		switch {
+		case t[0] == k || t[0]&tagValid == 0:
+		case t[1] == k || t[1]&tagValid == 0:
+			v = 1
+		case t[2] == k || t[2]&tagValid == 0:
+			v = 2
+		case t[3] == k || t[3]&tagValid == 0:
+			v = 3
+		default:
+			vLRU := l[0]
+			if l[1] < vLRU {
+				v, vLRU = 1, l[1]
+			}
+			if l[2] < vLRU {
+				v, vLRU = 2, l[2]
+			}
+			if l[3] < vLRU {
+				v = 3
+			}
 		}
-		if !s.valid {
-			victim = i
-			break
+		v &= 3
+		old := t[v]
+		if old&tagValid == 0 {
+			c.occupied++
+		} else if old != k {
+			c.evictions++
 		}
-		if s.lru < set[victim].lru {
-			victim = i
+		t[v] = k
+		c.ppns[b+v] = e.PPN
+		l[v] = c.clock
+		return
+	}
+	victim := b
+	{
+		vLRU := c.lrus[b]
+		for j := b; j < b+c.ways; j++ {
+			t := c.tags[j]
+			if t == k {
+				victim = j // refresh in place
+				break
+			}
+			if t&tagValid == 0 {
+				victim = j
+				break
+			}
+			if l := c.lrus[j]; l < vLRU {
+				victim, vLRU = j, l
+			}
 		}
 	}
-	v := &set[victim]
-	if v.valid && !(v.kind == e.Kind && v.vpn == e.VPN &&
-		(e.Kind == KindNested || v.asid == c.curASID)) {
+	if t := c.tags[victim]; t&tagValid == 0 {
+		c.occupied++
+	} else if t != k {
 		c.evictions++
 	}
-	*v = slot{valid: true, kind: e.Kind, asid: c.curASID, vpn: e.VPN, ppn: e.PPN, size: e.Size, lru: c.clock}
+	c.tags[victim] = k
+	c.ppns[victim] = e.PPN
+	c.lrus[victim] = c.clock
 }
 
 // Flush invalidates every entry.
 func (c *SetAssoc) Flush() {
-	for i := range c.slots {
-		c.slots[i].valid = false
+	for i := range c.tags {
+		c.tags[i] = 0
 	}
+	c.occupied = 0
 }
 
 // FlushKind invalidates entries of one kind (e.g. nested entries on a
 // nested-page-table change).
 func (c *SetAssoc) FlushKind(kind EntryKind) {
-	for i := range c.slots {
-		if c.slots[i].kind == kind {
-			c.slots[i].valid = false
+	want := tagValid | uint64(kind)<<62
+	for i, t := range c.tags {
+		if t&(tagValid|tagKind) == want {
+			c.tags[i] = 0
+			c.occupied--
 		}
 	}
 }
 
-// InvalidatePage removes a specific translation, as INVLPG would.
+// InvalidatePage removes a specific translation, as INVLPG would. It
+// matches every ASID's entry for the page: a shootdown must not leave
+// another address space's stale translation behind.
 func (c *SetAssoc) InvalidatePage(kind EntryKind, vpn uint64) {
-	set := c.set(vpn)
-	for i := range set {
-		s := &set[i]
-		if s.valid && s.kind == kind && s.vpn == vpn {
-			s.valid = false
+	if c.occupied == 0 || vpn >= vpnMax {
+		return
+	}
+	k := plainKey(kind, vpn)
+	b := c.base(vpn)
+	for j := b; j < b+c.ways; j++ {
+		if c.tags[j]&^asidMask == k {
+			c.tags[j] = 0
+			c.occupied--
 		}
 	}
 }
@@ -204,15 +340,7 @@ func (c *SetAssoc) Evictions() uint64 { return c.evictions }
 
 // Occupancy returns the number of valid entries (tests and the energy
 // discussion use it).
-func (c *SetAssoc) Occupancy() int {
-	n := 0
-	for i := range c.slots {
-		if c.slots[i].valid {
-			n++
-		}
-	}
-	return n
-}
+func (c *SetAssoc) Occupancy() int { return c.occupied }
 
 // Geometry describes one TLB level's configuration, per page size.
 type Geometry struct {
@@ -261,10 +389,21 @@ func (l *L1) Lookup(va uint64) (pa uint64, size addr.PageSize, hit bool) {
 	if ppn, ok := l.by4K.Lookup(KindGuest, va>>addr.PageShift4K); ok {
 		return ppn<<addr.PageShift4K + va&(addr.PageSize4K-1), addr.Page4K, true
 	}
-	if ppn, ok := l.by2M.Lookup(KindGuest, va>>addr.PageShift2M); ok {
+	// The 2M and 1G structures sit permanently empty for 4K-only
+	// workloads; their empty-structure miss (bump lookups and clock,
+	// scan nothing) is inlined here to save two calls per probe —
+	// bit-identical counter behaviour to SetAssoc.Lookup's own
+	// occupied==0 early-miss path.
+	if c := l.by2M; c.occupied == 0 {
+		c.lookups++
+		c.clock++
+	} else if ppn, ok := c.Lookup(KindGuest, va>>addr.PageShift2M); ok {
 		return ppn<<addr.PageShift2M + va&(addr.PageSize2M-1), addr.Page2M, true
 	}
-	if ppn, ok := l.by1G.Lookup(KindGuest, va>>addr.PageShift1G); ok {
+	if c := l.by1G; c.occupied == 0 {
+		c.lookups++
+		c.clock++
+	} else if ppn, ok := c.Lookup(KindGuest, va>>addr.PageShift1G); ok {
 		return ppn<<addr.PageShift1G + va&(addr.PageSize1G-1), addr.Page1G, true
 	}
 	return 0, 0, false
@@ -294,12 +433,21 @@ func (l *L1) SetASID(a uint16) {
 	l.by1G.SetASID(a)
 }
 
+// FlushASID drops one address space's entries at every page size, as a
+// targeted PCID shootdown (INVPCID single-context) would.
+func (l *L1) FlushASID(a uint16) {
+	l.by4K.FlushASID(a)
+	l.by2M.FlushASID(a)
+	l.by1G.FlushASID(a)
+}
+
 // Invalidate drops any entry translating va, at every page size, as
-// INVLPG does.
+// INVLPG does. The three probes are unrolled like Lookup's — building a
+// []addr.PageSize literal here allocated on every unmap-heavy replay.
 func (l *L1) Invalidate(va uint64) {
-	for _, s := range []addr.PageSize{addr.Page4K, addr.Page2M, addr.Page1G} {
-		l.structFor(s).InvalidatePage(KindGuest, addr.PageNumber(va, s))
-	}
+	l.by4K.InvalidatePage(KindGuest, va>>addr.PageShift4K)
+	l.by2M.InvalidatePage(KindGuest, va>>addr.PageShift2M)
+	l.by1G.InvalidatePage(KindGuest, va>>addr.PageShift1G)
 }
 
 // L2 is the unified second-level TLB. Per Table VI it holds 4K guest
@@ -320,12 +468,11 @@ func NewL2(entries, ways int) *L2 {
 
 // LookupGuest probes for a guest 4K translation.
 func (l *L2) LookupGuest(va uint64) (pa uint64, hit bool) {
-	vpn := addr.PageNumber(va, addr.Page4K)
-	ppn, ok := l.c.Lookup(KindGuest, vpn)
+	ppn, ok := l.c.Lookup(KindGuest, va>>addr.PageShift4K)
 	if !ok {
 		return 0, false
 	}
-	return ppn<<addr.PageShift4K + addr.Offset(va, addr.Page4K), true
+	return ppn<<addr.PageShift4K + va&(addr.PageSize4K-1), true
 }
 
 // InsertGuest caches a guest 4K translation.
@@ -353,6 +500,10 @@ func (l *L2) Flush() { l.c.Flush() }
 
 // SetASID switches the L2's current address-space identifier.
 func (l *L2) SetASID(a uint16) { l.c.SetASID(a) }
+
+// FlushASID drops one address space's guest entries; nested entries are
+// per-VM and survive, exactly as on a PCID shootdown.
+func (l *L2) FlushASID(a uint16) { l.c.FlushASID(a) }
 
 // InvalidateGuest drops the guest 4K entry for va, if present.
 func (l *L2) InvalidateGuest(va uint64) {
@@ -431,6 +582,13 @@ func (p *PWC) SetASID(a uint16) {
 	p.pml4e.SetASID(a)
 	p.pdpte.SetASID(a)
 	p.pde.SetASID(a)
+}
+
+// FlushASID drops one address space's cached structure pointers.
+func (p *PWC) FlushASID(a uint16) {
+	p.pml4e.FlushASID(a)
+	p.pdpte.FlushASID(a)
+	p.pde.FlushASID(a)
 }
 
 // Flush empties all three caches.

@@ -189,6 +189,9 @@ func (vm *VM) backContiguous() error {
 func (vm *VM) backChunked() error {
 	chunk := vm.cfg.NestedPageSize.Bytes()
 	chunkFrames := chunk >> addr.PageShift4K
+	if chunkFrames == 1 {
+		return vm.backChunked4K()
+	}
 	for gpa := uint64(0); gpa < vm.GuestMem.Size(); gpa += chunk {
 		if vm.gapChunk(gpa, chunk) {
 			continue
@@ -202,6 +205,47 @@ func (vm *VM) backChunked() error {
 			return err
 		}
 		vm.registerBacking(gpa, hpa, chunk)
+	}
+	return nil
+}
+
+// backChunked4K is the 4K-chunk fast path: instead of one allocator
+// scan per chunk it grabs the lowest available host-frame run and
+// consumes it chunk by chunk. AllocRun is frame-for-frame equivalent
+// to repeated single-frame allocation, so each gPA chunk lands on the
+// exact host frame the per-chunk loop would have picked.
+func (vm *VM) backChunked4K() error {
+	size := vm.GuestMem.Size()
+	var runStart, runLeft uint64
+	for gpa := uint64(0); gpa < size; gpa += addr.PageSize4K {
+		if vm.gapChunk(gpa, addr.PageSize4K) {
+			continue
+		}
+		if runLeft == 0 {
+			// Request at most the chunks left before the next boundary a
+			// skipped chunk could introduce (the I/O gap), so no frame is
+			// allocated that the per-chunk loop would not have taken.
+			limit := size
+			if vm.cfg.IOGap && gpa < addr.IOGapStart && addr.IOGapStart < limit {
+				limit = addr.IOGapStart
+			}
+			need := (limit - gpa) >> addr.PageShift4K
+			if need == 0 {
+				need = 1 // chunk straddling an unaligned boundary
+			}
+			first, n, err := vm.host.Mem.AllocRun(need)
+			if err != nil {
+				return fmt.Errorf("vmm: backing %s at gPA %#x: %w", vm.Name, gpa, err)
+			}
+			runStart, runLeft = first, n
+		}
+		hpa := physmem.FrameToAddr(runStart)
+		if err := vm.NPT.Map(gpa, hpa, addr.Page4K); err != nil {
+			return err
+		}
+		vm.registerBacking(gpa, hpa, addr.PageSize4K)
+		runStart++
+		runLeft--
 	}
 	return nil
 }

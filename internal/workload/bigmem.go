@@ -6,6 +6,7 @@
 package workload
 
 import (
+	"vdirect/internal/addr"
 	"vdirect/internal/trace"
 )
 
@@ -41,20 +42,224 @@ func newTLBStress(cfg Config) Workload {
 // write updates at uniformly random 8-byte elements of a giant table.
 // Every access is effectively a TLB miss — the worst case for paging
 // and the best case for direct segments.
+//
+// GUPS is the throughput benchmark workload and the one whose trace is
+// rebuilt most often, so unlike the Table V workloads it streams: the
+// trace is generated block-by-block straight into the replay engine's
+// buffer instead of being materialized as a multi-megabyte event slice
+// per cell. The event sequence is bit-identical to what the eager
+// builder emits (TestGUPSStreamMatchesBuilder holds the two together);
+// the per-access state machine below mirrors builder.access with
+// stackEvery=256.
 func newGUPS(cfg Config) Workload {
 	tableBytes := uint64(cfg.MemoryMB) << 20
-	elems := tableBytes / 8
-	b := newBuilder(cfg)
-	b.stackEvery = 256 // GUPS has almost no non-table traffic
-	for !b.full() {
-		idx := b.rng.Uint64n(elems)
-		va := PrimaryBase + idx*8
-		if !b.read(va) {
-			break
-		}
-		b.write(va) // the update half of read-modify-write
+	g := &gupsStream{
+		seed:    cfg.Seed,
+		elems:   tableBytes / 8,
+		limit:   cfg.Ops,
+		primary: primarySpan(tableBytes),
+		count:   gupsAccessCount(cfg.Ops),
 	}
-	return b.finish("gups", BigMemory, 56, primarySpan(tableBytes))
+	g.Reset()
+	return g
+}
+
+// gupsStream is a lazy GUPS trace generator. It carries the same
+// cursor state the eager builder evolves (PRNG, access counter, stack
+// cursor) and re-derives events on demand; Reset rewinds by reseeding.
+type gupsStream struct {
+	seed    uint64
+	elems   uint64
+	limit   int
+	primary addr.Range
+	count   uint64
+
+	// Cursor state, mirroring builder.access.
+	rng      *trace.Rand
+	accesses int
+	stackPos uint64
+	done     bool
+	// One read-modify-write op emits up to four events (read, write,
+	// and a stack sprinkle after either); a block boundary can split an
+	// op, so undelivered events wait here.
+	pending [4]trace.Event
+	pi, pn  int
+
+	// Tight working-set bounds depend on the random draws, so they are
+	// computed by a one-off scan on first use (tests only — the cell
+	// path never asks).
+	ws     addr.Range
+	wsDone bool
+}
+
+var _ trace.BlockGenerator = (*gupsStream)(nil)
+
+// gupsAccessCount replays the access-counter evolution of the builder
+// loop without touching the PRNG: stack sprinkles land after every
+// 256th access regardless of the random values, so the final count is
+// pure arithmetic.
+func gupsAccessCount(limit int) uint64 {
+	acc := 0
+	for acc < limit {
+		acc++ // read
+		if acc%256 == 0 {
+			acc++ // stack sprinkle
+		}
+		if acc >= limit {
+			break // builder.read returned false: the write is skipped
+		}
+		acc++ // write
+		if acc%256 == 0 {
+			acc++
+		}
+	}
+	return uint64(acc)
+}
+
+// stepInto runs one loop iteration of the builder, writing events at
+// dst[n:] (dst must have room for a worst-case op of four events), and
+// flags completion. It reproduces the eager loop's control flow: stop
+// at the top when the budget is spent, and skip the write half when
+// the read half exhausts it.
+func (g *gupsStream) stepInto(dst []trace.Event, n int) int {
+	if g.accesses >= g.limit {
+		g.done = true
+		return n
+	}
+	idx := g.rng.Uint64n(g.elems)
+	va := PrimaryBase + idx*8
+	n = g.emitInto(dst, n, va, false)
+	if g.accesses >= g.limit {
+		g.done = true
+		return n
+	}
+	n = g.emitInto(dst, n, va, true) // the update half of read-modify-write
+	if g.accesses >= g.limit {
+		g.done = true
+	}
+	return n
+}
+
+// emitInto appends one data access plus its possible stack sprinkle,
+// exactly as builder.access does with stackEvery=256.
+func (g *gupsStream) emitInto(dst []trace.Event, n int, va uint64, write bool) int {
+	dst[n] = trace.Event{Kind: trace.Access, VA: addr.GVA(va), Write: write}
+	n++
+	g.accesses++
+	if g.accesses%256 == 0 {
+		g.stackPos = (g.stackPos + 8) % (16 << 10)
+		dst[n] = trace.Event{
+			Kind:  trace.Access,
+			VA:    addr.GVA(StackBase + g.stackPos),
+			Write: g.rng.Uint64n(2) == 0,
+		}
+		n++
+		g.accesses++
+	}
+	return n
+}
+
+func (g *gupsStream) Name() string { return "gups" }
+
+func (g *gupsStream) Next() (trace.Event, bool) {
+	if g.pi >= g.pn {
+		if g.done {
+			return trace.Event{}, false
+		}
+		g.pi = 0
+		g.pn = g.stepInto(g.pending[:], 0)
+		if g.pn == 0 {
+			return trace.Event{}, false
+		}
+	}
+	ev := g.pending[g.pi]
+	g.pi++
+	return ev, true
+}
+
+// NextBlock drains pending events and then generates ops directly into
+// the caller's buffer until it has no room for a worst-case op (four
+// events) or the trace ends.
+func (g *gupsStream) NextBlock(buf []trace.Event) int {
+	n := 0
+	for g.pi < g.pn && n < len(buf) {
+		buf[n] = g.pending[g.pi]
+		g.pi++
+		n++
+	}
+	if g.pi >= g.pn {
+		g.pi, g.pn = 0, 0
+		for !g.done {
+			if len(buf)-n < len(g.pending) {
+				// Not enough head room for a full op: stage one op in
+				// pending and spill what fits.
+				g.pn = g.stepInto(g.pending[:], 0)
+				for g.pi < g.pn && n < len(buf) {
+					buf[n] = g.pending[g.pi]
+					g.pi++
+					n++
+				}
+				if n == len(buf) {
+					break
+				}
+				g.pi, g.pn = 0, 0
+				continue
+			}
+			n = g.stepInto(buf, n)
+		}
+	}
+	return n
+}
+
+func (g *gupsStream) Reset() {
+	g.rng = trace.NewRand(g.seed)
+	g.accesses = 0
+	g.stackPos = 0
+	g.done = false
+	g.pi, g.pn = 0, 0
+}
+
+// WorkingSet scans a throwaway cursor for the tight bounds NewSlice
+// would have computed. Only tests ask; the result is cached.
+func (g *gupsStream) WorkingSet() addr.Range {
+	if !g.wsDone {
+		scan := &gupsStream{seed: g.seed, elems: g.elems, limit: g.limit}
+		scan.Reset()
+		lo, hi := uint64(1)<<63, uint64(0)
+		any := false
+		for {
+			ev, ok := scan.Next()
+			if !ok {
+				break
+			}
+			any = true
+			v := uint64(ev.VA)
+			if v < lo {
+				lo = v
+			}
+			if v+1 > hi {
+				hi = v + 1
+			}
+		}
+		if any {
+			g.ws = addr.Range{Start: lo, Size: hi - lo}
+		}
+		g.wsDone = true
+	}
+	return g.ws
+}
+
+func (g *gupsStream) AccessCount() uint64       { return g.count }
+func (g *gupsStream) Class() Class              { return BigMemory }
+func (g *gupsStream) BaseCPI() float64          { return 56 }
+func (g *gupsStream) PrimaryRegion() addr.Range { return g.primary }
+
+func (g *gupsStream) StaticRegions() []addr.Range {
+	return []addr.Range{
+		g.primary,
+		{Start: StackBase, Size: StackSize},
+		{Start: ChurnBase, Size: ChurnSpan},
+	}
 }
 
 // newGraph500 builds graph generation + BFS, the graph500 kernel. The

@@ -129,6 +129,14 @@ type Options struct {
 	// Progress, when non-nil, is called — serialized — as simulation
 	// cells complete; total grows as sections register their cells.
 	Progress func(done, total int)
+	// Consolidation adds the multi-tenant consolidation study to the
+	// report. Off by default: it is an extension section, and leaving it
+	// out keeps the default report stable.
+	Consolidation bool
+	// Shards is the consolidation study's intra-cell parallelism: its
+	// tenants are partitioned across this many goroutines (0 or 1 =
+	// serial). Results are byte-identical at any setting.
+	Shards int
 }
 
 // ReproduceAll runs the complete evaluation at the given scale —
@@ -170,8 +178,18 @@ func ReproduceAllOpts(scale Scale, opts Options) (Report, error) {
 		points             []experiments.Fig13Point
 		shadow             []experiments.ShadowResult
 		sharing            []experiments.SharingResult
+		consolidation      []experiments.ConsolidationResult
 	)
-	err := sched.Tasks(
+	tasks := []func() error{}
+	if opts.Consolidation {
+		tenants := map[Scale]int{ScaleSmall: 2, ScaleMedium: 4, ScaleFull: 8}[scale]
+		tasks = append(tasks, section("consolidation", func() (err error) {
+			consolidation, err = experiments.ConsolidationStudy(scale,
+				[]string{"gups", "memcached"}, tenants, opts.Shards)
+			return
+		}))
+	}
+	err := sched.Tasks(append(tasks,
 		section("figure1", func() (err error) { fig1, err = experiments.Figure1Opts(cfg, scale); return }),
 		section("figure11", func() (err error) { fig11, err = experiments.Figure11Opts(cfg, scale); return }),
 		section("figure12", func() (err error) { fig12, err = experiments.Figure12Opts(cfg, scale); return }),
@@ -191,7 +209,7 @@ func ReproduceAllOpts(scale Scale, opts Options) (Report, error) {
 			return
 		}),
 		section("sharing", func() (err error) { sharing, err = experiments.SharingStudyOpts(cfg, 128, 0.03, 0.01); return }),
-	)
+	)...)
 	if err != nil {
 		return Report{}, err
 	}
@@ -217,5 +235,8 @@ func ReproduceAllOpts(scale Scale, opts Options) (Report, error) {
 	add("energy", experiments.EnergyTable(experiments.Energy(append(fig11.Rows, fig12.Rows...))))
 	add("tableII", experiments.TableII())
 	add("tableIII", experiments.TableIII())
+	if opts.Consolidation {
+		add("consolidation", experiments.ConsolidationTable(consolidation))
+	}
 	return rep, nil
 }

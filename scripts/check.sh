@@ -11,7 +11,9 @@
 # testdata/) run first: any translation or walk-cost divergence between
 # the production stack and internal/oracle's reference model fails fast,
 # before the long suites. covergate.sh then holds the translation-
-# critical packages to their recorded statement-coverage floors.
+# critical packages to their recorded statement-coverage floors, and
+# benchgate.sh holds the cell-throughput and TLB-probe benchmarks to
+# within 15% of their recorded ns/op baselines.
 set -eu
 cd "$(dirname "$0")/.."
 unformatted=$(gofmt -l .)
@@ -28,3 +30,4 @@ go test -run Equivalence -race ./internal/replay/...
 go test -race ./...
 go test -run '^$' -bench 'TelemetryOverhead' -benchtime 3x ./internal/replay/
 sh scripts/covergate.sh
+sh scripts/benchgate.sh
