@@ -44,7 +44,7 @@ func main() {
 func run() (retErr error) {
 	var (
 		scaleName  = flag.String("scale", "medium", "simulation scale: small|medium|full")
-		only       = flag.String("only", "", "comma-separated section subset (figure1,figure11,figure12,figure13,sectionVIII,breakdown,tableIV,shadow,sharing,energy,tableII,tableIII; naming consolidation also enables that extension study)")
+		only       = flag.String("only", "", "comma-separated section subset (figure1,figure11,figure12,figure13,sectionVIII,breakdown,tableIV,shadow,sharing,energy,tableII,tableIII; naming consolidation or schemes also enables that extension study)")
 		shards     = flag.Int("shards", 1, "intra-cell shard goroutines for the consolidation study; output is identical at any value")
 		outDir     = flag.String("out", "", "directory to write per-section files into")
 		trials     = flag.Int("fig13-trials", 30, "trials per escape-filter point")
@@ -117,6 +117,7 @@ func run() (retErr error) {
 		Parallelism:   *jobs,
 		Fig13Trials:   *trials,
 		Consolidation: want["consolidation"],
+		Schemes:       want["schemes"],
 		Shards:        *shards,
 	}
 	if !*quiet {

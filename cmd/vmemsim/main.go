@@ -36,7 +36,7 @@ func main() {
 func run() (retErr error) {
 	var (
 		workloadName = flag.String("workload", "gups", "workload(s) to run, comma-separated (see -list)")
-		config       = flag.String("config", "4K+4K", `configuration label(s), comma-separated: 4K|2M|1G|THP|DS|A+B|A+VD|A+GD|DD`)
+		config       = flag.String("config", "4K+4K", `configuration label(s), comma-separated: 4K|2M|1G|THP|DS|A+B|A+VD|A+GD|A+FL|DD`)
 		scaleName    = flag.String("scale", "medium", "simulation scale: small|medium|full")
 		jobs         = flag.Int("j", 0, "max concurrently simulated cells (0 = GOMAXPROCS); output is identical at any -j")
 		list         = flag.Bool("list", false, "list workloads and exit")

@@ -52,6 +52,8 @@ type Spec struct {
 //	"A+GD"                    Guest Direct (guest segment; A used for
 //	                          non-primary mappings)
 //	"DD"                      Dual Direct
+//	"A+FL"                    flattened nested page tables with guest
+//	                          page A (4K nested pages)
 func ParseConfig(label string) (Spec, error) {
 	s := Spec{Label: label, GuestPage: addr.Page4K, NestedPage: addr.Page4K}
 	page := func(tok string) (addr.PageSize, error) {
@@ -94,6 +96,8 @@ func ParseConfig(label string) (Spec, error) {
 			s.Mode = mmu.ModeVMMDirect
 		case "GD":
 			s.Mode = mmu.ModeGuestDirect
+		case "FL":
+			s.Mode = mmu.ModeFlatNested
 		default:
 			np, err := page(parts[1])
 			if err != nil {

@@ -72,8 +72,16 @@ func RunWorkload(spec Spec, w workload.Workload) (Result, error) {
 	return replayRun(spec, e)
 }
 
-// build assembles the stack for a spec.
+// build assembles the stack for a spec. What the stack must provide —
+// virtualization, segment registers, contiguous backing, flattened
+// nested tables — comes from the scheme's own Requirements, so a new
+// registered scheme runs here without touching the builder.
 func build(spec Spec, w workload.Workload) (*env, error) {
+	scheme, err := mmu.SchemeByName(string(spec.Mode))
+	if err != nil {
+		return nil, err
+	}
+	req := scheme.Requirements()
 	prim := w.PrimaryRegion()
 
 	// Guest physical sizing: the primary region's backing (rounded up
@@ -85,18 +93,17 @@ func build(spec Spec, w workload.Workload) (*env, error) {
 
 	e := &env{w: w, m: mmu.New(spec.MMU)}
 
-	if !spec.Mode.Virtualized() {
+	if !req.Virtualized {
 		mem := physmem.New(physmem.Config{Name: "machine", Size: guestSize})
 		e.kernel = guestos.NewKernel(mem, nil)
 	} else {
 		hostSize := addr.AlignUp(guestSize+guestSize/4+spec.NestedPage.Bytes()+256<<20, addr.PageSize4K)
 		e.host = vmm.NewHost(hostSize)
-		contig := spec.Mode == mmu.ModeVMMDirect || spec.Mode == mmu.ModeDualDirect
 		vm, err := e.host.CreateVM(vmm.VMConfig{
 			Name:              spec.Workload,
 			MemorySize:        guestSize,
 			NestedPageSize:    spec.NestedPage,
-			ContiguousBacking: contig,
+			ContiguousBacking: req.ContiguousBacking,
 		})
 		if err != nil {
 			return nil, err
@@ -104,6 +111,7 @@ func build(spec Spec, w workload.Workload) (*env, error) {
 		e.vm = vm
 		e.kernel = guestos.NewKernel(vm.GuestMem, vm)
 		e.m.SetNestedPageTable(vm.NPT)
+		e.m.SetFlatNested(req.FlattenedNested)
 	}
 
 	proc, err := e.kernel.CreateProcess(w.Name())
@@ -114,7 +122,7 @@ func build(spec Spec, w workload.Workload) (*env, error) {
 	e.m.SetGuestPageTable(proc.PT)
 
 	// VMM dimension.
-	if spec.Mode == mmu.ModeVMMDirect || spec.Mode == mmu.ModeDualDirect {
+	if req.VMMSegment {
 		seg, err := e.vm.TryEnableVMMSegment()
 		if err != nil {
 			return nil, err
@@ -123,9 +131,7 @@ func build(spec Spec, w workload.Workload) (*env, error) {
 	}
 
 	// Guest dimension: segment or paging over the primary region.
-	guestSeg := spec.Mode == mmu.ModeDirectSegment ||
-		spec.Mode == mmu.ModeGuestDirect || spec.Mode == mmu.ModeDualDirect
-	if guestSeg {
+	if req.GuestSegment {
 		if err := proc.CreatePrimaryRegionAt(prim); err != nil {
 			return nil, err
 		}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"vdirect/internal/addr"
+	"vdirect/internal/mmu"
+	"vdirect/internal/perfmodel"
+	"vdirect/internal/sched"
+)
+
+func TestParseConfigFlatNested(t *testing.T) {
+	spec, err := ParseConfig("4K+FL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Mode != mmu.ModeFlatNested {
+		t.Errorf("mode = %v, want FlatNested", spec.Mode)
+	}
+	if spec.GuestPage != addr.Page4K || spec.NestedPage != addr.Page4K {
+		t.Errorf("pages = %v/%v, want 4K/4K", spec.GuestPage, spec.NestedPage)
+	}
+}
+
+func TestSchemeCostTableListsEveryScheme(t *testing.T) {
+	rendered := SchemeCostTable().Render()
+	for _, name := range mmu.SchemeNames() {
+		if !strings.Contains(rendered, name) {
+			t.Errorf("scheme cost table missing registered scheme %q", name)
+		}
+	}
+}
+
+// TestFlatNestedCollapsesWalkCost pins the end-to-end dimensionality
+// collapse: on walker-only hardware a gups trace pays exactly the
+// closed-form 24 references per 2D walk and exactly 12 flattened —
+// the experiment-level counterpart of the oracle's per-walk checks.
+func TestFlatNestedCollapsesWalkCost(t *testing.T) {
+	rows, err := SchemesStudy(sched.Config{}, Small, []string{"gups"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.Base.Stats.Walks == 0 || r.Base.Stats.Walks != r.Flat.Stats.Walks {
+		t.Fatalf("walks: base %d, flat %d", r.Base.Stats.Walks, r.Flat.Stats.Walks)
+	}
+	if got, want := r.Base.Stats.WalkMemRefs, 24*r.Base.Stats.Walks; got != want {
+		t.Errorf("base refs = %d, want %d (24/walk)", got, want)
+	}
+	if got, want := r.Flat.Stats.WalkMemRefs, 12*r.Flat.Stats.Walks; got != want {
+		t.Errorf("flat refs = %d, want %d (12/walk)", got, want)
+	}
+	if r.Flat.WalkCycles >= r.Base.WalkCycles {
+		t.Errorf("flat walk cycles %d not below base %d", r.Flat.WalkCycles, r.Base.WalkCycles)
+	}
+}
+
+// TestTableIVModelByName keeps the by-name model dispatch aligned with
+// the method set: every registered scheme has a Table IV model, and the
+// named dispatch returns the same value as the direct call.
+func TestTableIVModelByName(t *testing.T) {
+	in := perfInputs()
+	direct := map[string]float64{
+		"Native":          in.Native(),
+		"DirectSegment":   in.DirectSegment(),
+		"BaseVirtualized": in.BaseVirtualized(),
+		"VMMDirect":       in.VMMDirect(),
+		"GuestDirect":     in.GuestDirect(),
+		"DualDirect":      in.DualDirect(),
+		"FlatNested":      in.FlatNested(),
+	}
+	for _, name := range mmu.SchemeNames() {
+		got, err := in.ByName(name)
+		if err != nil {
+			t.Errorf("scheme %q has no Table IV model: %v", name, err)
+			continue
+		}
+		if got != direct[name] {
+			t.Errorf("ByName(%q) = %g, direct call = %g", name, got, direct[name])
+		}
+	}
+	if _, err := in.ByName("NoSuchScheme"); err == nil {
+		t.Error("ByName accepted an unknown scheme name")
+	}
+}
+
+// TestSchemesStudyDeterministic holds the study to the repo-wide rule:
+// identical rows at any parallelism.
+func TestSchemesStudyDeterministic(t *testing.T) {
+	wls := []string{"gups"}
+	serial, err := SchemesStudy(sched.Config{Parallelism: 1}, Small, wls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := SchemesStudy(sched.Config{Parallelism: 4}, Small, wls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("row counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("row %d differs across parallelism: %+v vs %+v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// perfInputs builds representative nonzero model inputs so the by-name
+// dispatch check exercises every term.
+func perfInputs() perfmodel.Inputs {
+	return perfmodel.Inputs{Mn: 1000, Cn: 40, Cv: 170, FDS: 0.9, FVD: 0.8, FGD: 0.85, FDD: 0.75}
+}

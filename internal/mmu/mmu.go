@@ -14,6 +14,12 @@
 //	VMM Direct              virtualized, VMM segment      (1D walk, ≤4 refs)
 //	Guest Direct            virtualized, guest segment    (1D walk, ≤4 refs)
 //
+// plus the post-paper FlatNested configuration (virtualized with the
+// flat-walker flag set; see scheme_flat.go). Each configuration's
+// miss-path behaviour lives in a registered Scheme (see scheme.go);
+// register writes re-derive the active scheme, and the translation
+// path dispatches through it without switching on mode.
+//
 // Escape filters (§V) hang off each segment set; a covered page that
 // hits the filter falls back to the paging path for that dimension.
 package mmu
@@ -30,40 +36,6 @@ import (
 	"vdirect/internal/tlb"
 	"vdirect/internal/trace"
 )
-
-// Mode names the register configurations, for reporting.
-type Mode uint8
-
-// The six operating modes of Figure 3.
-const (
-	ModeNative Mode = iota
-	ModeDirectSegment
-	ModeBaseVirtualized
-	ModeDualDirect
-	ModeVMMDirect
-	ModeGuestDirect
-)
-
-func (m Mode) String() string {
-	switch m {
-	case ModeNative:
-		return "Native"
-	case ModeDirectSegment:
-		return "DirectSegment"
-	case ModeBaseVirtualized:
-		return "BaseVirtualized"
-	case ModeDualDirect:
-		return "DualDirect"
-	case ModeVMMDirect:
-		return "VMMDirect"
-	case ModeGuestDirect:
-		return "GuestDirect"
-	}
-	return fmt.Sprintf("Mode(%d)", uint8(m))
-}
-
-// Virtualized reports whether the mode uses two-level translation.
-func (m Mode) Virtualized() bool { return m >= ModeBaseVirtualized }
 
 // Config sets the simulated hardware's geometry and latencies.
 type Config struct {
@@ -196,7 +168,12 @@ type MMU struct {
 	ptc  *ptecache.Cache
 
 	virtualized bool
-	segs        segment.Pair
+	flatNested  bool
+	// scheme is the active translation scheme, re-derived from the
+	// register configuration on every register write (updateScheme) so
+	// the translation path is one interface call, no mode switch.
+	scheme Scheme
+	segs   segment.Pair
 	// escV escapes pages from the VMM segment (Dual/VMM Direct); escG
 	// escapes pages from the guest segment (Direct Segment mode).
 	escV *escape.Filter
@@ -234,7 +211,7 @@ type MMU struct {
 // New builds an MMU with the given hardware configuration.
 func New(cfg Config) *MMU {
 	cfg = cfg.withDefaults()
-	return &MMU{
+	m := &MMU{
 		cfg:  cfg,
 		l1:   tlb.NewL1(cfg.L1),
 		l2:   tlb.NewL2(cfg.L2Entries, cfg.L2Ways),
@@ -244,6 +221,8 @@ func New(cfg Config) *MMU {
 		escV: escape.NewSized(cfg.EscapeFilterBits, escape.NumHashes, 1),
 		escG: escape.NewSized(cfg.EscapeFilterBits, escape.NumHashes, 2),
 	}
+	m.updateScheme()
+	return m
 }
 
 // SetGuestPageTable installs the active first-dimension page table.
@@ -258,18 +237,35 @@ func (m *MMU) SetNestedPageTable(t *pagetable.Table) {
 	m.nPT = t
 	m.virtualized = t != nil
 	m.lastValid = false
+	m.updateScheme()
 }
+
+// SetFlatNested enables the flattened nested page table walker: while
+// virtualized, the FlatNested scheme replaces the base 2D walk
+// (interior guest levels cost one flat-table reference each — see
+// scheme_flat.go). The flag is latent outside virtualized operation
+// and composes with any segment configuration.
+func (m *MMU) SetFlatNested(on bool) {
+	m.flatNested = on
+	m.lastValid = false
+	m.updateScheme()
+}
+
+// FlatNested reports whether the flat walker flag is set.
+func (m *MMU) FlatNested() bool { return m.flatNested }
 
 // SetGuestSegment programs BASE_G/LIMIT_G/OFFSET_G.
 func (m *MMU) SetGuestSegment(r segment.Registers) {
 	m.segs.Guest = r
 	m.lastValid = false
+	m.updateScheme()
 }
 
 // SetVMMSegment programs BASE_V/LIMIT_V/OFFSET_V.
 func (m *MMU) SetVMMSegment(r segment.Registers) {
 	m.segs.VMM = r
 	m.lastValid = false
+	m.updateScheme()
 }
 
 // GuestSegment returns the current guest segment registers.
@@ -284,26 +280,12 @@ func (m *MMU) VMMEscapeFilter() *escape.Filter { return m.escV }
 // GuestEscapeFilter exposes the filter guarding the guest segment.
 func (m *MMU) GuestEscapeFilter() *escape.Filter { return m.escG }
 
-// Mode derives the paper mode from the current register configuration.
-func (m *MMU) Mode() Mode {
-	g, v := m.segs.Guest.Enabled(), m.segs.VMM.Enabled()
-	if !m.virtualized {
-		if g {
-			return ModeDirectSegment
-		}
-		return ModeNative
-	}
-	switch {
-	case g && v:
-		return ModeDualDirect
-	case v:
-		return ModeVMMDirect
-	case g:
-		return ModeGuestDirect
-	default:
-		return ModeBaseVirtualized
-	}
-}
+// Mode reports the active scheme's name, derived from the current
+// register configuration.
+func (m *MMU) Mode() Mode { return m.scheme.Name() }
+
+// ActiveScheme returns the scheme the register configuration selects.
+func (m *MMU) ActiveScheme() Scheme { return m.scheme }
 
 // SetWalkProbe installs (or, with nil, removes) a per-walk telemetry
 // probe. The probe observes each page walk's memory-reference count and
@@ -333,6 +315,7 @@ func (m *MMU) ContextSwitch(gpt *pagetable.Table, guestSeg segment.Registers) {
 	m.lastValid = false
 	m.gPT = gpt
 	m.segs.Guest = guestSeg
+	m.updateScheme()
 	m.l1.Flush()
 	m.l2.Flush() // no PCID on the modeled machine
 	m.pwc.Flush()
@@ -348,6 +331,7 @@ func (m *MMU) ContextSwitchASID(gpt *pagetable.Table, guestSeg segment.Registers
 	m.lastValid = false
 	m.gPT = gpt
 	m.segs.Guest = guestSeg
+	m.updateScheme()
 	m.l1.SetASID(asid)
 	m.l2.SetASID(asid)
 	m.pwc.SetASID(asid)
@@ -484,65 +468,54 @@ func (m *MMU) TranslateBlock(evs []trace.Event, out []Result) (int, *Fault) {
 	return len(evs), nil
 }
 
-// translateMiss handles everything past an L1 miss: segment fast paths,
-// the L2 probe, and the page-walk state machine.
+// translateMiss handles everything past an L1 miss by dispatching to
+// the active scheme: segment fast paths, the L2 probe, and the
+// scheme's walk machine.
 func (m *MMU) translateMiss(gva uint64) (Result, *Fault) {
-	var cycles uint64
+	return m.scheme.TranslateMiss(m, gva)
+}
 
-	// Dual Direct fast path: both segment register sets cover the
-	// address → hPA = gVA + OFFSET_G + OFFSET_V, a 0D walk. The two
-	// base-bound checks are performed together in one added cycle
-	// (Table II counts this as one check).
-	if m.virtualized && m.segs.Guest.Enabled() && m.segs.VMM.Enabled() &&
-		m.segs.Guest.Contains(gva) && !m.escapeGuest(gva) {
-		gpa := m.segs.Guest.Translate(gva)
-		if m.segs.VMM.Contains(gpa) && !m.escapeVMM(gpa) {
-			cycles += m.cfg.SegmentCheckCycles
-			m.stats.SegmentChecks++
-			m.stats.ZeroDWalks++
-			m.stats.GuestSegHits++
-			m.stats.VMMSegHits++
-			m.stats.MissBoth++
-			m.stats.WalkCycles += cycles
-			hpa := m.segs.VMM.Translate(gpa)
-			m.l1.Insert(gva, hpa, addr.Page4K)
-			return Result{HPA: hpa, Cycles: cycles, ZeroD: true}, nil
-		}
+// dualFastPath is the Dual Direct 0D path, shared by the schemes whose
+// register configuration can have both segment sets enabled: both
+// covering the address → hPA = gVA + OFFSET_G + OFFSET_V. The two
+// base-bound checks are performed together in one added cycle (Table
+// II counts this as one check). Declined (uncovered or escaped)
+// accesses charge nothing here beyond the filter probes.
+func (m *MMU) dualFastPath(gva uint64, cycles *uint64) (Result, bool) {
+	if !(m.segs.Guest.Enabled() && m.segs.VMM.Enabled() &&
+		m.segs.Guest.Contains(gva) && !m.escapeGuest(gva)) {
+		return Result{}, false
 	}
+	gpa := m.segs.Guest.Translate(gva)
+	if !m.segs.VMM.Contains(gpa) || m.escapeVMM(gpa) {
+		return Result{}, false
+	}
+	*cycles += m.cfg.SegmentCheckCycles
+	m.stats.SegmentChecks++
+	m.stats.ZeroDWalks++
+	m.stats.GuestSegHits++
+	m.stats.VMMSegHits++
+	m.stats.MissBoth++
+	m.stats.WalkCycles += *cycles
+	hpa := m.segs.VMM.Translate(gpa)
+	m.l1.Insert(gva, hpa, addr.Page4K)
+	return Result{HPA: hpa, Cycles: *cycles, ZeroD: true}, true
+}
 
-	// L2 TLB lookup (guest 4K entries; the unvirtualized direct-segment
-	// check proceeds in parallel, §III.D).
+// probeL2 is the shared L2 TLB lookup of the miss path (guest 4K
+// entries; any segment calculation proceeds in parallel, §III.D). The
+// probe cost is charged hit or miss.
+func (m *MMU) probeL2(gva uint64, cycles *uint64) (Result, bool) {
 	if hpa, hit := m.l2.LookupGuest(gva); hit {
 		m.stats.L2Hits++
-		cycles += m.cfg.L2HitCycles
-		m.stats.WalkCycles += cycles
+		*cycles += m.cfg.L2HitCycles
+		m.stats.WalkCycles += *cycles
 		m.l1.Insert(gva, hpa, addr.Page4K)
-		return Result{HPA: hpa, Cycles: cycles, L2Hit: true}, nil
+		return Result{HPA: hpa, Cycles: *cycles, L2Hit: true}, true
 	}
 	m.stats.L2Misses++
-	cycles += m.cfg.L2HitCycles // the probe that missed
-
-	// Unvirtualized Direct Segment mode: segment calculation in
-	// parallel with the L2 lookup; covered addresses skip the walk.
-	if !m.virtualized && m.segs.Guest.Enabled() && m.segs.Guest.Contains(gva) &&
-		!m.escapeGuest(gva) {
-		cycles += m.cfg.SegmentCheckCycles
-		m.stats.SegmentChecks++
-		m.stats.ZeroDWalks++
-		m.stats.GuestSegHits++
-		m.stats.WalkCycles += cycles
-		pa := m.segs.Guest.Translate(gva)
-		m.l1.Insert(gva, pa, addr.Page4K)
-		m.l2.InsertGuest(gva, pa)
-		return Result{HPA: pa, Cycles: cycles, ZeroD: true}, nil
-	}
-
-	// Invoke the page-walk state machine.
-	res, fault := m.pageWalk(gva, cycles)
-	if fault != nil {
-		return Result{}, fault
-	}
-	return res, nil
+	*cycles += m.cfg.L2HitCycles // the probe that missed
+	return Result{}, false
 }
 
 // escapeVMM probes the VMM-segment escape filter for a gPA page.
@@ -565,24 +538,44 @@ func (m *MMU) escapeGuest(va uint64) bool {
 	return false
 }
 
-// pageWalk dispatches to the 1D or 2D state machine of Figure 5(b),
-// charging cycles on top of the cost already accumulated.
-func (m *MMU) pageWalk(gva uint64, cycles uint64) (Result, *Fault) {
+// walk1D invokes the native 1D walk state machine, charging cycles on
+// top of the cost already accumulated. The telemetry probe, when
+// installed, observes each walk's reference and cycle deltas; the
+// wrapper is duplicated per walker (walk1D/walk2D/walkFlat) rather
+// than taking a function value, which would allocate on the hot path.
+func (m *MMU) walk1D(gva uint64, cycles uint64) (Result, *Fault) {
 	m.stats.Walks++
 	if m.probe == nil {
-		if !m.virtualized {
-			return m.nativeWalk(gva, cycles)
-		}
+		return m.nativeWalk(gva, cycles)
+	}
+	refs0, cyc0 := m.stats.WalkMemRefs, m.stats.WalkCycles
+	res, fault := m.nativeWalk(gva, cycles)
+	m.probe.Refs.Observe(m.stats.WalkMemRefs - refs0)
+	m.probe.Cycles.Observe(m.stats.WalkCycles - cyc0)
+	return res, fault
+}
+
+// walk2D invokes the 2D walk state machine of Figure 5(b).
+func (m *MMU) walk2D(gva uint64, cycles uint64) (Result, *Fault) {
+	m.stats.Walks++
+	if m.probe == nil {
 		return m.nestedWalk2D(gva, cycles)
 	}
 	refs0, cyc0 := m.stats.WalkMemRefs, m.stats.WalkCycles
-	var res Result
-	var fault *Fault
-	if !m.virtualized {
-		res, fault = m.nativeWalk(gva, cycles)
-	} else {
-		res, fault = m.nestedWalk2D(gva, cycles)
+	res, fault := m.nestedWalk2D(gva, cycles)
+	m.probe.Refs.Observe(m.stats.WalkMemRefs - refs0)
+	m.probe.Cycles.Observe(m.stats.WalkCycles - cyc0)
+	return res, fault
+}
+
+// walkFlat invokes the flattened 2D walk (scheme_flat.go).
+func (m *MMU) walkFlat(gva uint64, cycles uint64) (Result, *Fault) {
+	m.stats.Walks++
+	if m.probe == nil {
+		return m.flatWalk2D(gva, cycles)
 	}
+	refs0, cyc0 := m.stats.WalkMemRefs, m.stats.WalkCycles
+	res, fault := m.flatWalk2D(gva, cycles)
 	m.probe.Refs.Observe(m.stats.WalkMemRefs - refs0)
 	m.probe.Cycles.Observe(m.stats.WalkCycles - cyc0)
 	return res, fault

@@ -478,16 +478,21 @@ func TestModeStrings(t *testing.T) {
 		ModeDualDirect:      "DualDirect",
 		ModeVMMDirect:       "VMMDirect",
 		ModeGuestDirect:     "GuestDirect",
+		ModeFlatNested:      "FlatNested",
 	}
 	for m, s := range want {
 		if m.String() != s {
-			t.Errorf("%d.String() = %q", m, m.String())
+			t.Errorf("%v.String() = %q", m, m.String())
+		}
+		if _, err := SchemeByName(s); err != nil {
+			t.Errorf("SchemeByName(%q): %v", s, err)
 		}
 	}
-	if ModeNative.Virtualized() || !ModeDualDirect.Virtualized() {
+	if ModeNative.Virtualized() || !ModeDualDirect.Virtualized() || !ModeFlatNested.Virtualized() {
 		t.Error("Virtualized() wrong")
 	}
-	if Mode(99).String() != "Mode(99)" {
+	// An unregistered name is just its own string and never virtualized.
+	if Mode("Mode(99)").String() != "Mode(99)" || Mode("Mode(99)").Virtualized() {
 		t.Error("unknown mode string")
 	}
 }

@@ -1,0 +1,159 @@
+package mmu
+
+import (
+	"testing"
+
+	"vdirect/internal/addr"
+	"vdirect/internal/segment"
+)
+
+func TestWalkReferenceCountsFlatNested(t *testing.T) {
+	// Flattened nested tables: gL4–gL2 lookups cost one flat-table
+	// reference each, so the cold 4K-on-4K walk drops from 24
+	// references to 3 (flat) + 5 (gL1 nested + read) + 4 (final gPA).
+	e := newEnv(t, 16, coldConfig())
+	e.m.SetFlatNested(true)
+	e.mapGuest(t, 0x400000, 0x800000, 4)
+	if e.m.Mode() != ModeFlatNested {
+		t.Fatalf("mode = %v", e.m.Mode())
+	}
+	res, fault := e.m.Translate(0x400123)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	st := e.m.Stats()
+	if st.WalkMemRefs != 12 {
+		t.Errorf("flat 2D walk made %d references, want 12", st.WalkMemRefs)
+	}
+	if res.HPA != e.hostBase+0x800123 {
+		t.Errorf("hPA = %#x, want %#x", res.HPA, e.hostBase+0x800123)
+	}
+	if st.SegmentChecks != 0 {
+		t.Errorf("no segments, but %d checks", st.SegmentChecks)
+	}
+}
+
+func TestFlatNested2MGuestLeaf(t *testing.T) {
+	// A 2M guest leaf terminates at gL2, a flattened level: 3 flat
+	// references plus the final gPA's nested walk (4) = 7, versus 19
+	// for the base 2D walk.
+	e := newEnv(t, 16, coldConfig())
+	e.m.SetFlatNested(true)
+	if err := e.gPT.Map(0x400000, 0x800000, addr.Page2M); err != nil {
+		t.Fatal(err)
+	}
+	if _, fault := e.m.Translate(0x400123); fault != nil {
+		t.Fatal(fault)
+	}
+	if st := e.m.Stats(); st.WalkMemRefs != 7 {
+		t.Errorf("flat 2M-guest walk made %d references, want 7", st.WalkMemRefs)
+	}
+}
+
+func TestFlatNestedWithVMMSegment(t *testing.T) {
+	// FlatNested composes with the VMM segment: the two remaining
+	// nested translations (gL1 ref and final gPA) become checks,
+	// leaving 4 references (3 flat + the gL1 entry read) and 2 checks.
+	e := newEnv(t, 16, coldConfig())
+	e.m.SetFlatNested(true)
+	e.m.SetVMMSegment(segment.NewRegisters(0, e.hostBase, e.guestSize))
+	e.mapGuest(t, 0x400000, 0x800000, 4)
+	if e.m.Mode() != ModeFlatNested {
+		t.Fatalf("mode = %v", e.m.Mode())
+	}
+	if _, fault := e.m.Translate(0x400123); fault != nil {
+		t.Fatal(fault)
+	}
+	st := e.m.Stats()
+	if st.WalkMemRefs != 4 || st.SegmentChecks != 2 {
+		t.Errorf("refs = %d, checks = %d; want 4, 2", st.WalkMemRefs, st.SegmentChecks)
+	}
+}
+
+func TestFlatNestedDualFastPath(t *testing.T) {
+	// With both segments covering, the flag changes nothing: the 0D
+	// fast path absorbs the miss exactly as Dual Direct.
+	e := newEnv(t, 16, coldConfig())
+	e.m.SetFlatNested(true)
+	e.m.SetGuestSegment(segment.NewRegisters(0x400000, 0x800000, 2<<20))
+	e.m.SetVMMSegment(segment.NewRegisters(0, e.hostBase, e.guestSize))
+	if e.m.Mode() != ModeFlatNested {
+		t.Fatalf("mode = %v", e.m.Mode())
+	}
+	res, fault := e.m.Translate(0x400123)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	st := e.m.Stats()
+	if !res.ZeroD || st.WalkMemRefs != 0 || st.SegmentChecks != 1 || st.ZeroDWalks != 1 {
+		t.Errorf("0D path not taken: res = %+v, stats = %+v", res, st)
+	}
+	if res.HPA != e.hostBase+0x800123 {
+		t.Errorf("hPA = %#x", res.HPA)
+	}
+}
+
+func TestFlatNestedMatchesBaseTranslations(t *testing.T) {
+	// The flat walker changes walk cost, never results: identical
+	// access streams through a base and a flat stack produce identical
+	// hPAs and identical fault addresses, with strictly fewer
+	// references on the flat side.
+	base := newEnv(t, 16, coldConfig())
+	flat := newEnv(t, 16, coldConfig())
+	flat.m.SetFlatNested(true)
+	for _, e := range []*env{base, flat} {
+		e.mapGuest(t, 0x400000, 0x800000, 8)
+		// Balloon out one data page: final-gPA nested faults.
+		if err := e.nPT.Unmap(0x804000, addr.Page4K); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vas := []uint64{
+		0x400123, 0x401456, 0x400789, 0x407000,
+		0x404321, // ballooned: FaultNested at gPA 0x804321
+		0x500000, // unmapped: FaultGuest
+		0x402000, 0x400123,
+	}
+	for _, va := range vas {
+		rb, fb := base.m.Translate(va)
+		rf, ff := flat.m.Translate(va)
+		if (fb == nil) != (ff == nil) {
+			t.Fatalf("va %#x: base fault %v, flat fault %v", va, fb, ff)
+		}
+		if fb != nil {
+			if fb.Kind != ff.Kind || fb.Addr != ff.Addr {
+				t.Fatalf("va %#x: base fault %+v, flat fault %+v", va, fb, ff)
+			}
+			continue
+		}
+		if rb.HPA != rf.HPA {
+			t.Fatalf("va %#x: base hPA %#x, flat hPA %#x", va, rb.HPA, rf.HPA)
+		}
+	}
+	sb, sf := base.m.Stats(), flat.m.Stats()
+	if sf.WalkMemRefs >= sb.WalkMemRefs {
+		t.Errorf("flat made %d refs, base %d — flattening saved nothing", sf.WalkMemRefs, sb.WalkMemRefs)
+	}
+	if sb.GuestFaults != sf.GuestFaults || sb.NestedFaults != sf.NestedFaults {
+		t.Errorf("fault counts diverge: base %+v, flat %+v", sb, sf)
+	}
+}
+
+func TestFlatNestedLatentWhenNative(t *testing.T) {
+	// The flag is latent outside virtualized operation and takes
+	// effect when nested translation returns.
+	e := newEnv(t, 16, coldConfig())
+	e.m.SetFlatNested(true)
+	e.m.SetNestedPageTable(nil)
+	if e.m.Mode() != ModeNative {
+		t.Fatalf("mode = %v, want Native while unvirtualized", e.m.Mode())
+	}
+	e.m.SetNestedPageTable(e.nPT)
+	if e.m.Mode() != ModeFlatNested {
+		t.Fatalf("mode = %v, want FlatNested after re-enabling", e.m.Mode())
+	}
+	e.m.SetFlatNested(false)
+	if e.m.Mode() != ModeBaseVirtualized {
+		t.Fatalf("mode = %v, want BaseVirtualized after clearing", e.m.Mode())
+	}
+}

@@ -121,6 +121,7 @@ type Harness struct {
 	virtualized   bool
 	guestSegPages uint64 // current guest-segment span in pages (0 = off)
 	vmmSegOn      bool
+	flat          bool // flattened nested walks (latent while unvirtualized)
 
 	// filtersClean is true until the first escape-filter insertion;
 	// while true, the Bloom filters provably produce no positives and
@@ -289,13 +290,21 @@ func NestedSizeFromFlags(flags byte) addr.PageSize {
 
 // HarnessForInput builds the harness an encoded op stream asks for:
 // the flag byte (byte 0) both configures the build — bits 1-2 select
-// the nested page size — and directs the run (bit 0, see Run).
+// the nested page size, bit 3 starts the stack with flattened nested
+// walks — and directs the run (bit 0, see Run).
 func HarnessForInput(data []byte) (*Harness, error) {
 	var flags byte
 	if len(data) > 0 {
 		flags = data[0]
 	}
-	return NewHarnessNested(NestedSizeFromFlags(flags))
+	h, err := NewHarnessNested(NestedSizeFromFlags(flags))
+	if err != nil {
+		return nil, err
+	}
+	if flags&flagFlat != 0 {
+		h.setFlat(true)
+	}
+	return h, nil
 }
 
 // Run decodes and executes the whole op stream, then checks the
@@ -352,7 +361,7 @@ func (h *Harness) step(r *opReader) error {
 		return h.opEscapeGuest(r.next())
 	default: // 16/256: sub-op
 		b := r.next()
-		switch b % 5 {
+		switch b % 6 {
 		case subEscVMM:
 			return h.opEscapeVMM(r.next(), r.next())
 		case subBalloon:
@@ -371,6 +380,13 @@ func (h *Harness) step(r *opReader) error {
 			for _, m := range h.mmus {
 				m.FlushASID(asid)
 			}
+		case subToggleFlat:
+			// Flip the flattened-nested-walk flag. Flattening is a
+			// walk-cost mechanism, never a translation change, so the
+			// oracle model is untouched: the differential check proves
+			// the flat walker resolves and faults exactly as the base 2D
+			// walk, while checkCost holds it to the flattened closed form.
+			h.setFlat(!h.flat)
 		}
 	}
 	return nil
@@ -409,6 +425,18 @@ func (h *Harness) opContextSwitch(b byte) {
 		}
 	}
 	h.model.GuestSeg = Segment{Base: regs.Base, Limit: regs.Limit, Offset: regs.Offset}
+}
+
+// setFlat switches both production MMUs between the base and flattened
+// nested walkers. The flush mirrors the other mode transitions so cost
+// checks always see cold TLBs after a switch; the oracle model has no
+// flat notion at all — identical translations are the whole point.
+func (h *Harness) setFlat(on bool) {
+	h.flat = on
+	for _, m := range h.mmus {
+		m.SetFlatNested(on)
+		m.FlushTLBs()
+	}
 }
 
 // decodeVA maps two operand bytes onto an address in one of the three
@@ -584,7 +612,12 @@ func (h *Harness) checkCost(m *mmu.MMU, st0 mmu.Stats, res mmu.Result, want Pred
 		if h.virtualized && h.guestSegPages > 0 && h.vmmSegOn && want.GuestCovered && want.VMMCovered {
 			return fmt.Errorf("dual-covered access reached the page walker")
 		}
-		wc := ExpectWalk(want, h.guestSegPages > 0, h.vmmSegOn, h.virtualized, h.nestedLevels)
+		var wc WalkCost
+		if h.flat && h.virtualized {
+			wc = ExpectWalkFlat(want, h.guestSegPages > 0, h.vmmSegOn, h.nestedLevels)
+		} else {
+			wc = ExpectWalk(want, h.guestSegPages > 0, h.vmmSegOn, h.virtualized, h.nestedLevels)
+		}
 		wantCycles := wc.Cycles(refCycles, 1)
 		if refs != wc.Refs || checks != wc.Checks || res.Cycles != wantCycles {
 			return fmt.Errorf("walk cost (refs %d, checks %d, cycles %d), mode table says (%d, %d, %d)",

@@ -267,3 +267,40 @@ func ExpectWalk(p Prediction, guestSegEnabled, vmmSegEnabled, virtualized bool, 
 	c.Refs += guestRefs
 	return c
 }
+
+// ExpectWalkFlat is ExpectWalk for the flattened-nested-walk scheme
+// (mmu.ModeFlatNested): each interior guest level (gL4–gL2) costs one
+// flat-table reference instead of a nested translation of the table's
+// gPA plus the entry read, so only the deepest guest reference — the
+// gL1 entry, present for 4K guest leaves only — and the final gPA still
+// cross the nested dimension. The 24-reference 4K-on-4K walk collapses
+// to 12. Same strict-harness assumptions as ExpectWalk; never called
+// for native operation, where the flag is latent.
+func ExpectWalkFlat(p Prediction, guestSegEnabled, vmmSegEnabled bool, nestedLevels uint64) WalkCost {
+	var c WalkCost
+	if guestSegEnabled {
+		c.Checks++
+	}
+	if p.GuestCovered {
+		// Guest dimension flattened by the segment: one nested
+		// translation of the final gPA, exactly as the base 2D form.
+		if vmmSegEnabled {
+			c.Checks++
+		} else {
+			c.Refs += nestedLevels
+		}
+		return c
+	}
+	deep := uint64(0)
+	if p.GuestSize == addr.Page4K {
+		deep = 1
+	}
+	c.Refs += Levels(p.GuestSize) // flat interior refs, plus the gL1 entry read
+	nested := deep + 1            // gL1 reference (if any) + the final gPA
+	if vmmSegEnabled {
+		c.Checks += nested
+	} else {
+		c.Refs += nested * nestedLevels
+	}
+	return c
+}

@@ -1,0 +1,91 @@
+package oracle
+
+import (
+	"testing"
+
+	"vdirect/internal/addr"
+	"vdirect/internal/mmu"
+)
+
+// TestSchemeCostsMatchOracle pins every registered MMU scheme's
+// closed-form cost table (Scheme.WalkCost) against the oracle's
+// independently derived mode table (ExpectWalk / ExpectWalkFlat) over
+// the whole input space: every guest and nested leaf size, and every
+// coverage combination the scheme's register requirements admit. The
+// two forms are written in different packages from different framings
+// — the schemes from the walker's perspective, the oracle from the
+// paper's Figure 5 — so a transcription slip in either cost model
+// breaks this test even before the harness measures a real walk.
+func TestSchemeCostsMatchOracle(t *testing.T) {
+	sizes := []addr.PageSize{addr.Page4K, addr.Page2M, addr.Page1G}
+	for _, s := range mmu.Schemes() {
+		req := s.Requirements()
+		gSeg := req.GuestSegment || req.FlattenedNested
+		vSeg := req.VMMSegment || req.FlattenedNested
+		for _, gsize := range sizes {
+			for _, nsize := range sizes {
+				for _, gc := range coverStates(gSeg) {
+					for _, vc := range coverStates(vSeg) {
+						for _, ge := range enableStates(req, gSeg) {
+							for _, ve := range enableStates(req, vSeg) {
+								checkSchemeCostEntry(t, s, gsize, nsize, gc && ge, vc && ve, ge, ve)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// coverStates enumerates a dimension's coverage values: only uncovered
+// when no segment can be programmed, both otherwise.
+func coverStates(segPossible bool) []bool {
+	if !segPossible {
+		return []bool{false}
+	}
+	return []bool{false, true}
+}
+
+// enableStates enumerates a dimension's register-enable values. The
+// paper schemes' registers are fixed by their identity; only FlatNested
+// composes with any segment setup.
+func enableStates(req mmu.Requirements, segPossible bool) []bool {
+	if !segPossible {
+		return []bool{false}
+	}
+	if req.FlattenedNested {
+		return []bool{false, true}
+	}
+	return []bool{true}
+}
+
+func checkSchemeCostEntry(t *testing.T, s mmu.Scheme, gsize, nsize addr.PageSize, gc, vc, ge, ve bool) {
+	t.Helper()
+	in := mmu.CostInput{
+		GuestLevels:     Levels(gsize),
+		NestedLevels:    Levels(nsize),
+		GuestCovered:    gc,
+		VMMCovered:      vc,
+		GuestSegEnabled: ge,
+		VMMSegEnabled:   ve,
+	}
+	got := s.WalkCost(in)
+
+	p := Prediction{GuestSize: gsize, GuestCovered: gc, VMMCovered: vc}
+	var want WalkCost
+	switch {
+	case ge && gc && (!s.Virtualized() || (ve && vc)):
+		// Every dimension a segment can flatten is covered: the 0D (or
+		// native covered) fast path absorbs the miss with one check.
+		want = WalkCost{Checks: 1}
+	case s.Requirements().FlattenedNested:
+		want = ExpectWalkFlat(p, ge, ve, Levels(nsize))
+	default:
+		want = ExpectWalk(p, ge, ve, s.Virtualized(), Levels(nsize))
+	}
+	if got.Refs != want.Refs || got.Checks != want.Checks {
+		t.Errorf("%s: gsize=%v nsize=%v covered(g=%v,v=%v) enabled(g=%v,v=%v): scheme says (refs %d, checks %d), oracle says (%d, %d)",
+			s.Name(), gsize, nsize, gc, vc, ge, ve, got.Refs, got.Checks, want.Refs, want.Checks)
+	}
+}

@@ -9,14 +9,15 @@ package oracle
 
 // Op stream encoding (see Harness.step): byte 0 is a flag byte — bit 0
 // appends the mode-monotonicity replay, bits 1-2 select the nested
-// page size (0 → 4K, 1 → 2M, 2 → 1G) — then op bytes dispatched
-// through a weighted 256-entry table. Each op* constant below is the
-// first byte of its range; the range widths bias the fuzzer toward
-// accesses (120/256) and mode-changing mutations (resize and the two
-// toggles get 24/256 each) over plain paging churn (16/256 each):
-// access(b1,b2), map(b1,b2), unmap(b1,b2), resize(b), toggle VMM
-// segment, toggle virtualization, escape guest page(b), sub-op(b):
-// escape VMM page / balloon / flush.
+// page size (0 → 4K, 1 → 2M, 2 → 1G), bit 3 starts the stack with
+// flattened nested walks — then op bytes dispatched through a weighted
+// 256-entry table. Each op* constant below is the first byte of its
+// range; the range widths bias the fuzzer toward accesses (120/256)
+// and mode-changing mutations (resize and the two toggles get 24/256
+// each) over plain paging churn (16/256 each): access(b1,b2),
+// map(b1,b2), unmap(b1,b2), resize(b), toggle VMM segment, toggle
+// virtualization, escape guest page(b), sub-op(b): escape VMM page /
+// balloon / flush / context switch / ASID flush / flat-walk toggle.
 const (
 	opAccess     = 0   // 0-119
 	opMap        = 120 // 120-135
@@ -27,16 +28,18 @@ const (
 	opEscGuest   = 224 // 224-239
 	opSub        = 240 // 240-255
 
-	subEscVMM    = 0
-	subBalloon   = 1
-	subFlush     = 2
-	subSwitch    = 3 // context switch; operand bit 0 = ASID-tagged
-	subFlushASID = 4 // INVPCID of operand%2
+	subEscVMM     = 0
+	subBalloon    = 1
+	subFlush      = 2
+	subSwitch     = 3 // context switch; operand bit 0 = ASID-tagged
+	subFlushASID  = 4 // INVPCID of operand%2
+	subToggleFlat = 5 // flip flattened nested walks
 
 	flagPlainOnly = 0
 	flagMonotone  = 1
 	flagNested2M  = 2
 	flagNested1G  = 4
+	flagFlat      = 8
 )
 
 // namedSeed pairs a seed stream with its testdata/fuzz corpus file
@@ -56,6 +59,7 @@ func namedSeeds() []namedSeed {
 		{"seed-nested-2m", seedNestedHuge(flagMonotone | flagNested2M)},
 		{"seed-nested-1g", seedNestedHuge(flagNested1G)},
 		{"seed-multi-process", seedMultiProcess()},
+		{"seed-flat-nested", seedFlatNested()},
 	}
 }
 
@@ -183,6 +187,38 @@ func seedMultiProcess() []byte {
 			opSub, subFlushASID, byte(i),
 			opAccess, 3, byte(i*17),
 			opSub, subSwitch, byte(i+1),
+		)
+	}
+	return b
+}
+
+// seedFlatNested runs the flattened-nested-walk scheme through the
+// differential checks. Built flat (flag bit 3), it pages, resizes the
+// guest segment and toggles the VMM segment so flat walks run covered,
+// uncovered and on 2M guest leaves; flips virtualization so the flag
+// goes latent and returns; and flips the flag itself mid-stream so the
+// base and flat walkers alternate over identical state. The whole trace
+// also replays through the monotonicity checker.
+func seedFlatNested() []byte {
+	b := []byte{flagMonotone | flagFlat}
+	for i := 0; i < 16; i++ {
+		b = append(b,
+			opAccess, byte(i), byte(i*7),
+			opMap, byte(i), byte(i*3),
+			opAccess, 2, byte(i*5),
+			opResize, byte(i*11),
+			opAccess, 0, byte(i*13),
+			opToggleVMM,
+			opAccess, 1, byte(i*11),
+			opToggleVMM,
+			opMap, 0x80, byte(i),
+			opAccess, 3, byte(i*41),
+			opToggleVirt,
+			opAccess, 0, byte(i*19),
+			opToggleVirt,
+			opSub, subToggleFlat,
+			opAccess, 2, byte(i*17),
+			opSub, subToggleFlat,
 		)
 	}
 	return b

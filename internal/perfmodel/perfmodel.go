@@ -10,6 +10,8 @@
 // models against direct simulation of each mode.
 package perfmodel
 
+import "fmt"
+
 // Paper constants: Δ is the cost of base-bound checks added to a native
 // walk (§VII, "we use 1 cycle per base-bound check").
 const (
@@ -17,6 +19,11 @@ const (
 	DeltaVD = 5.0
 	// DeltaGD is Δ for Guest Direct: 1 check per walk.
 	DeltaGD = 1.0
+	// FlatRefRatio is the flattened nested walk's reference count
+	// relative to the base 2D walk for 4K-on-4K translation (12/24):
+	// interior guest levels cost one flat-table reference instead of a
+	// nested translation plus the entry read.
+	FlatRefRatio = 12.0 / 24.0
 )
 
 // Inputs are the per-workload measurements the models consume.
@@ -71,6 +78,35 @@ func (in Inputs) BaseVirtualized() float64 { return in.Cv * in.Mn }
 
 // Native is the measured native baseline: Cn·Mn.
 func (in Inputs) Native() float64 { return in.Cn * in.Mn }
+
+// FlatNested predicts walk cycles for flattened nested page tables:
+// Cv·(12/24)·Mn. Every miss keeps the 2D walk structure, but the
+// interior guest levels collapse to single flat references, halving the
+// 4K-on-4K reference count.
+func (in Inputs) FlatNested() float64 { return in.Cv * FlatRefRatio * in.Mn }
+
+// ByName evaluates the model for a translation scheme's registry name —
+// the same names the mmu scheme registry keys on — so drivers select
+// models and schemes with one string.
+func (in Inputs) ByName(name string) (float64, error) {
+	switch name {
+	case "Native":
+		return in.Native(), nil
+	case "DirectSegment":
+		return in.DirectSegment(), nil
+	case "BaseVirtualized":
+		return in.BaseVirtualized(), nil
+	case "VMMDirect":
+		return in.VMMDirect(), nil
+	case "GuestDirect":
+		return in.GuestDirect(), nil
+	case "DualDirect":
+		return in.DualDirect(), nil
+	case "FlatNested":
+		return in.FlatNested(), nil
+	}
+	return 0, fmt.Errorf("perfmodel: no Table IV model for scheme %q", name)
+}
 
 // Overhead is the §VIII execution-time overhead metric:
 // (T_E − T_2Mideal) / T_2Mideal, where T_E = T_ideal + walk cycles and

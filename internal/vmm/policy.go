@@ -38,38 +38,77 @@ type Capabilities struct {
 
 // CapabilitiesOf returns the Table II column for a virtualized mode.
 // It panics for unvirtualized modes, which the table does not cover.
+//
+// The numeric columns — walk dimensionality, memory accesses, and
+// base-bound checks for "most page walks" — derive from the scheme
+// registry's closed-form cost at the canonical operating point (4K
+// guest page, 4-level nested tables, the scheme's segments covering),
+// so they cannot drift from what the simulator charges. Only the
+// qualitative service rows stay per-mode.
 func CapabilitiesOf(m mmu.Mode) Capabilities {
+	s, err := mmu.SchemeByName(string(m))
+	if err != nil || !s.Virtualized() {
+		panic("vmm: Table II covers only virtualized modes")
+	}
+	req := s.Requirements()
+	wc := s.WalkCost(mmu.CostInput{
+		GuestLevels: 4, NestedLevels: 4,
+		GuestCovered: req.GuestSegment, VMMCovered: req.VMMSegment,
+		GuestSegEnabled: req.GuestSegment, VMMSegEnabled: req.VMMSegment,
+	})
+	c := Capabilities{
+		Mode:            m,
+		WalkDims:        walkDims(req),
+		MemAccesses:     int(wc.Refs),
+		BaseBoundChecks: int(wc.Checks),
+	}
 	switch m {
 	case mmu.ModeBaseVirtualized:
-		return Capabilities{
-			Mode: m, WalkDims: "2D", MemAccesses: 24, BaseBoundChecks: 0,
-			AppCategory: "any",
-			PageSharing: Unrestricted, Ballooning: Unrestricted,
-			GuestSwapping: Unrestricted, VMMSwapping: Unrestricted,
-		}
+		c.AppCategory = "any"
+		c.PageSharing, c.Ballooning = Unrestricted, Unrestricted
+		c.GuestSwapping, c.VMMSwapping = Unrestricted, Unrestricted
 	case mmu.ModeDualDirect:
-		return Capabilities{
-			Mode: m, WalkDims: "0D", MemAccesses: 0, BaseBoundChecks: 1,
-			GuestOSMods: true, VMMMods: true, AppCategory: "big memory",
-			PageSharing: Limited, Ballooning: Limited,
-			GuestSwapping: Limited, VMMSwapping: Limited,
-		}
+		c.GuestOSMods, c.VMMMods = true, true
+		c.AppCategory = "big memory"
+		c.PageSharing, c.Ballooning = Limited, Limited
+		c.GuestSwapping, c.VMMSwapping = Limited, Limited
 	case mmu.ModeVMMDirect:
-		return Capabilities{
-			Mode: m, WalkDims: "1D", MemAccesses: 4, BaseBoundChecks: 5,
-			VMMMods: true, AppCategory: "any",
-			PageSharing: Limited, Ballooning: Limited,
-			GuestSwapping: Unrestricted, VMMSwapping: Limited,
-		}
+		c.VMMMods = true
+		c.AppCategory = "any"
+		c.PageSharing, c.Ballooning = Limited, Limited
+		c.GuestSwapping, c.VMMSwapping = Unrestricted, Limited
 	case mmu.ModeGuestDirect:
-		return Capabilities{
-			Mode: m, WalkDims: "1D", MemAccesses: 4, BaseBoundChecks: 1,
-			GuestOSMods: true, AppCategory: "big memory",
-			PageSharing: Unrestricted, Ballooning: Unrestricted,
-			GuestSwapping: Limited, VMMSwapping: Unrestricted,
-		}
+		c.GuestOSMods = true
+		c.AppCategory = "big memory"
+		c.PageSharing, c.Ballooning = Unrestricted, Unrestricted
+		c.GuestSwapping, c.VMMSwapping = Limited, Unrestricted
+	case mmu.ModeFlatNested:
+		// Flattening is a VMM-side table transform: the guest runs
+		// unmodified, and every service keeps working because the VMM
+		// rebuilds flat entries on remap.
+		c.VMMMods = true
+		c.AppCategory = "any"
+		c.PageSharing, c.Ballooning = Unrestricted, Unrestricted
+		c.GuestSwapping, c.VMMSwapping = Unrestricted, Unrestricted
+	default:
+		panic("vmm: registered scheme " + string(m) + " has no Table II service column")
 	}
-	panic("vmm: Table II covers only virtualized modes")
+	return c
+}
+
+// walkDims names the walk dimensionality a scheme's requirements imply:
+// each direct segment removes one page-walk dimension, and flattening
+// keeps both dimensions but collapses the cross terms.
+func walkDims(req mmu.Requirements) string {
+	switch {
+	case req.GuestSegment && req.VMMSegment:
+		return "0D"
+	case req.GuestSegment || req.VMMSegment:
+		return "1D"
+	case req.FlattenedNested:
+		return "2D-flat"
+	}
+	return "2D"
 }
 
 // AllCapabilities returns Table II in column order.

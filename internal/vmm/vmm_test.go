@@ -478,6 +478,23 @@ func TestCapabilitiesTableII(t *testing.T) {
 	}
 }
 
+// TestCapabilitiesFlatNested covers the post-paper column: reachable by
+// name, numeric cells derived from the scheme's closed-form cost, and
+// absent from the paper's four-column table.
+func TestCapabilitiesFlatNested(t *testing.T) {
+	fn := CapabilitiesOf(mmu.ModeFlatNested)
+	if fn.WalkDims != "2D-flat" || fn.MemAccesses != 12 || fn.BaseBoundChecks != 0 {
+		t.Errorf("FlatNested: dims=%s refs=%d checks=%d, want 2D-flat/12/0",
+			fn.WalkDims, fn.MemAccesses, fn.BaseBoundChecks)
+	}
+	if !fn.VMMMods || fn.GuestOSMods {
+		t.Errorf("FlatNested mods wrong: %+v", fn)
+	}
+	if len(AllCapabilities()) != 4 {
+		t.Error("AllCapabilities grew beyond the paper's four columns")
+	}
+}
+
 func TestCapabilitiesPanicsForNative(t *testing.T) {
 	defer func() {
 		if recover() == nil {

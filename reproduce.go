@@ -133,6 +133,10 @@ type Options struct {
 	// report. Off by default: it is an extension section, and leaving it
 	// out keeps the default report stable.
 	Consolidation bool
+	// Schemes adds the translation-schemes section: the registry's
+	// closed-form cost table and the measured flattened-nested-walk
+	// comparison. Off by default for the same reason as Consolidation.
+	Schemes bool
 	// Shards is the consolidation study's intra-cell parallelism: its
 	// tenants are partitioned across this many goroutines (0 or 1 =
 	// serial). Results are byte-identical at any setting.
@@ -179,8 +183,15 @@ func ReproduceAllOpts(scale Scale, opts Options) (Report, error) {
 		shadow             []experiments.ShadowResult
 		sharing            []experiments.SharingResult
 		consolidation      []experiments.ConsolidationResult
+		flatRows           []experiments.FlatRow
 	)
 	tasks := []func() error{}
+	if opts.Schemes {
+		tasks = append(tasks, section("schemes", func() (err error) {
+			flatRows, err = experiments.SchemesStudy(cfg, scale, workload.BigMemoryNames())
+			return
+		}))
+	}
 	if opts.Consolidation {
 		tenants := map[Scale]int{ScaleSmall: 2, ScaleMedium: 4, ScaleFull: 8}[scale]
 		tasks = append(tasks, section("consolidation", func() (err error) {
@@ -237,6 +248,14 @@ func ReproduceAllOpts(scale Scale, opts Options) (Report, error) {
 	add("tableIII", experiments.TableIII())
 	if opts.Consolidation {
 		add("consolidation", experiments.ConsolidationTable(consolidation))
+	}
+	if opts.Schemes {
+		flatT := experiments.FlattenedTable(flatRows)
+		rep.Sections = append(rep.Sections, ReportSection{
+			Name: "schemes",
+			Text: experiments.SchemeCostTable().Render() + "\n" + flatT.Render(),
+			CSV:  flatT.CSV(),
+		})
 	}
 	return rep, nil
 }

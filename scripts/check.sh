@@ -7,13 +7,17 @@
 # The telemetry-overhead bench runs in short mode (3 iterations) as a
 # smoke test that the instrumented hot path still builds and runs; the
 # recorded overhead comparison lives in EXPERIMENTS.md.
-# The differential-oracle seeds (and the minimized fuzz corpora under
-# testdata/) run first: any translation or walk-cost divergence between
-# the production stack and internal/oracle's reference model fails fast,
-# before the long suites. covergate.sh then holds the translation-
-# critical packages to their recorded statement-coverage floors, and
-# benchgate.sh holds the cell-throughput and TLB-probe benchmarks to
-# within 15% of their recorded ns/op baselines.
+# The scheme exhaustiveness lint and conformance suite run first: every
+# Mode constant in internal/mmu/scheme.go must have a fixture in the
+# conformance suite, and every registered scheme must pass it, before
+# anything expensive starts. The differential-oracle seeds (and the
+# minimized fuzz corpora under testdata/) come next: any translation or
+# walk-cost divergence between the production stack and
+# internal/oracle's reference model fails fast, before the long suites.
+# covergate.sh then holds the translation-critical packages to their
+# recorded statement-coverage floors, and benchgate.sh holds the
+# cell-throughput and TLB-probe benchmarks to within 10% of their
+# recorded ns/op baselines.
 set -eu
 cd "$(dirname "$0")/.."
 unformatted=$(gofmt -l .)
@@ -22,9 +26,22 @@ if [ -n "$unformatted" ]; then
     echo "$unformatted" >&2
     exit 1
 fi
+
+# Exhaustiveness lint: a scheme constant without a conformance fixture
+# means a registered scheme the suite never exercises. The suite itself
+# catches schemes registered under new names at runtime; this catches
+# the constant-declared ones without running any Go.
+for mode in $(sed -n 's/^\t\(Mode[A-Za-z0-9]*\)[ \t]*Mode = .*/\1/p' internal/mmu/scheme.go); do
+    if ! grep -q "^[[:space:]]*$mode: {" internal/mmu/scheme_test.go; then
+        echo "check: $mode has no conformanceFixtures entry in internal/mmu/scheme_test.go" >&2
+        exit 1
+    fi
+done
+
 set -x
 go vet ./...
 go build ./...
+go test -run 'TestSchemeConformance|TestSchemeRegistry' ./internal/mmu/
 go test -race ./internal/oracle/...
 go test -run Equivalence -race ./internal/replay/...
 go test -race ./...

@@ -1,0 +1,127 @@
+#!/usr/bin/env sh
+# Fuzz-campaign triage for the translation differential oracle.
+#
+# Nightly `go test -fuzz FuzzTranslationDiff ./internal/oracle` runs
+# leave their coverage-expanding inputs in the build cache's fuzz
+# corpus (already minimized by the fuzz engine before being written).
+# This script promotes those artifacts into the checked-in seed corpus
+# so every future `go test` replays them deterministically:
+#
+#   1. decode each candidate's `go test fuzz v1` encoding to raw op
+#      bytes and dedupe by content hash — against the checked-in corpus
+#      and among the candidates themselves (the same interesting input
+#      often appears under several cache names across campaigns);
+#   2. re-encode canonically and stage it in the corpus under a
+#      content-addressed name (fuzz-<sha256 prefix>);
+#   3. replay it through the oracle differential test. Inputs that pass
+#      stay promoted; inputs that FAIL are moved to
+#      internal/oracle/testdata/quarantine/ for manual triage — a
+#      failing artifact is a real divergence and must become a fix plus
+#      a named seed, not silently join the regression corpus.
+#
+# Usage: scripts/fuzztriage.sh [artifact-dir ...]
+# With no arguments, triages the local build cache's fuzz corpus.
+# Exits nonzero if any candidate was quarantined.
+set -eu
+cd "$(dirname "$0")/.."
+
+corpus=internal/oracle/testdata/fuzz/FuzzTranslationDiff
+quarantine=internal/oracle/testdata/quarantine
+
+if [ $# -gt 0 ]; then
+    dirs=$*
+else
+    dirs="$(go env GOCACHE)/fuzz/vdirect/internal/oracle/FuzzTranslationDiff"
+fi
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+# codec decodes `go test fuzz v1` []byte corpus files to raw bytes and
+# re-encodes raw bytes canonically, so hashing sees content, not quoting.
+mkdir "$work/codec"
+cat > "$work/codec/main.go" <<'EOF'
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	data, err := os.ReadFile(os.Args[2])
+	if err != nil {
+		fatal(err)
+	}
+	switch os.Args[1] {
+	case "decode":
+		lines := strings.Split(string(data), "\n")
+		if len(lines) < 2 || lines[0] != "go test fuzz v1" {
+			fatal(fmt.Errorf("%s: not a go test fuzz v1 file", os.Args[2]))
+		}
+		body := strings.TrimSuffix(strings.TrimPrefix(lines[1], "[]byte("), ")")
+		raw, err := strconv.Unquote(body)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %v", os.Args[2], err))
+		}
+		os.Stdout.WriteString(raw)
+	case "encode":
+		fmt.Printf("go test fuzz v1\n[]byte(%q)\n", data)
+	default:
+		fatal(fmt.Errorf("usage: codec decode|encode file"))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "codec:", err)
+	os.Exit(1)
+}
+EOF
+
+codec() {
+    go run "$work/codec/main.go" "$@"
+}
+
+# Hashes of raw op streams already in the corpus (or staged this run).
+seen=$work/seen
+: > "$seen"
+for f in "$corpus"/*; do
+    [ -f "$f" ] || continue
+    codec decode "$f" > "$work/raw" 2>/dev/null || continue
+    sha256sum < "$work/raw" | cut -c1-64 >> "$seen"
+done
+
+promoted=0 duplicates=0 quarantined=0
+for dir in $dirs; do
+    [ -d "$dir" ] || { echo "fuzztriage: no artifact dir $dir, skipping"; continue; }
+    for f in "$dir"/*; do
+        [ -f "$f" ] || continue
+        codec decode "$f" > "$work/raw" 2>/dev/null || {
+            echo "fuzztriage: skipping $f (not a fuzz corpus file)"
+            continue
+        }
+        sha=$(sha256sum < "$work/raw" | cut -c1-64)
+        if grep -q "^$sha\$" "$seen"; then
+            duplicates=$((duplicates + 1))
+            continue
+        fi
+        echo "$sha" >> "$seen"
+        name=fuzz-$(printf '%s' "$sha" | cut -c1-12)
+        codec encode "$work/raw" > "$corpus/$name"
+        if go test ./internal/oracle -run "^FuzzTranslationDiff\$/^$name\$" > "$work/replay" 2>&1; then
+            echo "fuzztriage: promoted $name (from $f)"
+            promoted=$((promoted + 1))
+        else
+            mkdir -p "$quarantine"
+            mv "$corpus/$name" "$quarantine/$name"
+            echo "fuzztriage: QUARANTINED $name (from $f) — replay failed:" >&2
+            tail -n 20 "$work/replay" >&2
+            quarantined=$((quarantined + 1))
+        fi
+    done
+done
+
+echo "fuzztriage: $promoted promoted, $duplicates duplicate(s) skipped, $quarantined quarantined"
+[ "$quarantined" -eq 0 ]

@@ -35,7 +35,8 @@ import (
 // Mode selects one of the paper's translation modes (Figure 3).
 type Mode = mmu.Mode
 
-// The six translation modes.
+// The six paper translation modes, plus post-paper schemes. Any name
+// in SchemeNames is a valid Config.Mode.
 const (
 	// Native is unvirtualized 1D paging (up to 4 references per walk).
 	Native = mmu.ModeNative
@@ -52,7 +53,16 @@ const (
 	// GuestDirect flattens the guest dimension with a guest segment,
 	// keeping nested paging for VMM services (§III.C).
 	GuestDirect = mmu.ModeGuestDirect
+	// FlatNested is the post-paper flattened-nested-page-table scheme:
+	// interior guest levels resolve through VMM-maintained flat host
+	// tables, collapsing the 24-reference 2D walk to 12 with no segment
+	// registers at all.
+	FlatNested = mmu.ModeFlatNested
 )
+
+// SchemeNames returns every registered translation scheme's name,
+// sorted — the valid values for Config.Mode.
+func SchemeNames() []string { return mmu.SchemeNames() }
 
 // PageSize selects an x86-64 page size.
 type PageSize = addr.PageSize
@@ -104,7 +114,16 @@ type System struct {
 var ErrNoSegment = errors.New("vdirect: mode does not use this segment")
 
 // NewSystem builds a machine in the configured mode with one process.
+// The stack is assembled from the scheme's own Requirements — which
+// register sets to program, whether backing must be contiguous, whether
+// the VMM maintains flattened nested tables — so any registered scheme
+// builds here by name.
 func NewSystem(cfg Config) (*System, error) {
+	scheme, err := mmu.SchemeByName(string(cfg.Mode))
+	if err != nil {
+		return nil, err
+	}
+	req := scheme.Requirements()
 	if cfg.GuestMemory == 0 {
 		cfg.GuestMemory = 256 << 20
 	}
@@ -113,18 +132,17 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	s := &System{cfg: cfg, mmu: mmu.New(cfg.Hardware)}
 
-	if cfg.Mode.Virtualized() {
+	if req.Virtualized {
 		hostSize := cfg.HostMemory
 		if hostSize == 0 {
 			hostSize = cfg.GuestMemory + cfg.GuestMemory/2 + 256<<20
 		}
 		s.host = vmm.NewHost(hostSize)
-		contig := cfg.Mode == VMMDirect || cfg.Mode == DualDirect
 		vm, err := s.host.CreateVM(vmm.VMConfig{
 			Name:              "vm0",
 			MemorySize:        cfg.GuestMemory,
 			NestedPageSize:    cfg.NestedPage,
-			ContiguousBacking: contig,
+			ContiguousBacking: req.ContiguousBacking,
 		})
 		if err != nil {
 			return nil, err
@@ -132,7 +150,8 @@ func NewSystem(cfg Config) (*System, error) {
 		s.vm = vm
 		s.kernel = guestos.NewKernel(vm.GuestMem, vm)
 		s.mmu.SetNestedPageTable(vm.NPT)
-		if contig {
+		s.mmu.SetFlatNested(req.FlattenedNested)
+		if req.VMMSegment {
 			seg, err := vm.TryEnableVMMSegment()
 			if err != nil {
 				return nil, err
@@ -209,9 +228,7 @@ func (s *System) MapEager(base, size uint64, ps PageSize) error {
 // backs it with a guest direct segment (DirectSegment, GuestDirect and
 // DualDirect modes). It returns the region's base address.
 func (s *System) CreatePrimaryRegion(size uint64) (uint64, error) {
-	switch s.cfg.Mode {
-	case DirectSegment, GuestDirect, DualDirect:
-	default:
+	if !s.requirements().GuestSegment {
 		return 0, ErrNoSegment
 	}
 	r, err := s.proc.CreatePrimaryRegion(size)
@@ -258,11 +275,21 @@ func (s *System) Free(base, size uint64) error {
 // (§V). Only meaningful once a primary region exists.
 func (s *System) EscapeBadPages(gpas []uint64) error {
 	filter := s.mmu.GuestEscapeFilter()
-	if s.cfg.Mode == DualDirect || s.cfg.Mode == VMMDirect {
+	if s.requirements().VMMSegment {
 		filter = s.mmu.VMMEscapeFilter()
 	}
 	_, err := s.proc.EscapeBadPages(gpas, func(pfn uint64) { filter.Insert(pfn) })
 	return err
+}
+
+// requirements returns the configured scheme's Requirements. The mode
+// was validated against the registry in NewSystem.
+func (s *System) requirements() mmu.Requirements {
+	scheme, err := mmu.SchemeByName(string(s.cfg.Mode))
+	if err != nil {
+		return mmu.Requirements{}
+	}
+	return scheme.Requirements()
 }
 
 // GuestSegment returns the current guest segment registers' coverage
