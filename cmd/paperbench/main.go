@@ -18,6 +18,13 @@
 //	paperbench -trace run.json -manifest run-manifest.json
 //	                                 # Chrome trace + run manifest
 //	paperbench -histograms           # per-walk telemetry histograms
+//	paperbench -sample 64 -samples walks.jsonl
+//	                                 # 1-in-64 walk sampling, analyzed
+//	                                 # offline with cmd/walkprof
+//	paperbench -only walkprof        # walk-level attribution section
+//	                                 # (auto-enables sampling)
+//	paperbench -listen :8080         # live /metrics, /snapshot,
+//	                                 # /walkprof, /debug/pprof/
 package main
 
 import (
@@ -44,7 +51,7 @@ func main() {
 func run() (retErr error) {
 	var (
 		scaleName  = flag.String("scale", "medium", "simulation scale: small|medium|full")
-		only       = flag.String("only", "", "comma-separated section subset (figure1,figure11,figure12,figure13,sectionVIII,breakdown,tableIV,shadow,sharing,energy,tableII,tableIII; naming consolidation or schemes also enables that extension study)")
+		only       = flag.String("only", "", "comma-separated section subset (figure1,figure11,figure12,figure13,sectionVIII,breakdown,tableIV,shadow,sharing,energy,tableII,tableIII; naming consolidation, schemes, or walkprof also enables that extension study)")
 		shards     = flag.Int("shards", 1, "intra-cell shard goroutines for the consolidation study; output is identical at any value")
 		outDir     = flag.String("out", "", "directory to write per-section files into")
 		trials     = flag.Int("fig13-trials", 30, "trials per escape-filter point")
@@ -75,9 +82,20 @@ func run() (retErr error) {
 		return fmt.Errorf("unknown scale %q", *scaleName)
 	}
 
+	want := map[string]bool{}
+	if *only != "" {
+		for _, s := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(s)] = true
+		}
+	}
+
 	// The histogram section needs telemetry live even when no -trace or
-	// -manifest path was given.
+	// -manifest path was given; the walkprof section likewise needs
+	// sampling on even when no -sample/-samples flag asked for it.
 	tf.Force = tf.Force || *histograms
+	if want["walkprof"] && tf.Sample == 0 && tf.SamplesOut == "" {
+		tf.Sample = 64
+	}
 	sess, err := tf.Start("paperbench", map[string]string{
 		"scale":        *scaleName,
 		"j":            fmt.Sprint(*jobs),
@@ -106,18 +124,12 @@ func run() (retErr error) {
 		}
 	}()
 
-	want := map[string]bool{}
-	if *only != "" {
-		for _, s := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(s)] = true
-		}
-	}
-
 	opts := vdirect.Options{
 		Parallelism:   *jobs,
 		Fig13Trials:   *trials,
 		Consolidation: want["consolidation"],
 		Schemes:       want["schemes"],
+		Walkprof:      want["walkprof"],
 		Shards:        *shards,
 	}
 	if !*quiet {

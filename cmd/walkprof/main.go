@@ -1,0 +1,82 @@
+// Command walkprof analyzes a walk-sample file — the simulated
+// BadgerTrap output any binary writes with -samples (see -sample for
+// the period). It reconstructs where translation cost went from the
+// samples alone: per-scheme and per-cell/tenant attribution with
+// period-scaled estimates, exact miss-cost percentiles, top-N hot
+// pages, and the address-space heatmap; -flame additionally writes the
+// profile as collapsed stacks for standard flamegraph tooling
+// (flamegraph.pl, inferno, speedscope).
+//
+// Usage:
+//
+//	paperbench -scale medium -samples walks.jsonl   # collect
+//	walkprof walks.jsonl                            # analyze
+//	walkprof -top 40 walks.jsonl                    # more hot pages
+//	walkprof -flame walks.folded walks.jsonl        # + flamegraph input
+//	walkprof -json walks.jsonl                      # summary as JSON
+//
+// The sample file is versioned; walkprof rejects files written by a
+// different schema rather than misreading them.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"vdirect/internal/telemetry"
+	"vdirect/internal/telemetry/walkprof"
+)
+
+func main() {
+	// Package walkprof errors already carry the "walkprof:" prefix, so
+	// errors print unadorned; locally built ones add it themselves.
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		top     = flag.Int("top", 20, "hot pages to list in the top-N table")
+		flame   = flag.String("flame", "", "write the profile as collapsed stacks (cell;scheme;class;region weight) to this path")
+		jsonOut = flag.Bool("json", false, "print the aggregate summary as JSON instead of tables")
+		version = flag.Bool("version", false, "print build information and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: walkprof [flags] samples.jsonl\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *version {
+		fmt.Println(telemetry.VersionString("walkprof"))
+		return nil
+	}
+	if flag.NArg() != 1 {
+		flag.Usage()
+		return fmt.Errorf("walkprof: expected exactly one sample file, got %d arguments", flag.NArg())
+	}
+
+	d, err := walkprof.ReadFile(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+
+	if *flame != "" {
+		if err := os.WriteFile(*flame, []byte(walkprof.Collapsed(d)), 0o644); err != nil {
+			return fmt.Errorf("walkprof: writing collapsed stacks: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "walkprof: wrote collapsed stacks to %s\n", *flame)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(walkprof.Summarize(d))
+	}
+	fmt.Print(walkprof.Report(d, *top))
+	return nil
+}

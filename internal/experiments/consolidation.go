@@ -22,6 +22,7 @@ import (
 	"vdirect/internal/perfmodel"
 	"vdirect/internal/replay"
 	"vdirect/internal/stats"
+	"vdirect/internal/telemetry/walkprof"
 	"vdirect/internal/trace"
 	"vdirect/internal/workload"
 )
@@ -110,7 +111,13 @@ func runConsolidation(wl, config string, scale Scale, tenants, shards int) (Cons
 	// Build every tenant stack serially, in tenant order: construction
 	// allocates from per-tenant hosts, so this is determinism hygiene
 	// (and keeps build errors ordered), not a correctness requirement.
+	// Walk sampling, when enabled, gives each tenant its own sampler —
+	// tenant-private state driven only by that tenant's access stream, so
+	// samples are identical at any shard count; streams commit in tenant
+	// order after the run.
+	prof := walkprof.Enabled()
 	ts := make([]*tenant, tenants)
+	samplers := make([]*walkprof.Sampler, tenants)
 	for i := range ts {
 		s := spec
 		s.WL = scale.WLConfig(class, uint64(i+1))
@@ -121,6 +128,10 @@ func runConsolidation(wl, config string, scale Scale, tenants, shards int) (Cons
 		}
 		if got := e.m.Mode(); got != s.Mode {
 			return ConsolidationResult{}, fmt.Errorf("experiments: consolidation built mode %v, wanted %v", got, s.Mode)
+		}
+		if prof != nil {
+			samplers[i] = prof.Sampler(wl+"/"+config, i, s.WL.Seed)
+			e.m.SetWalkSampler(samplers[i])
 		}
 		t := &tenant{env: e}
 		t.eng = replay.New(w, replay.Hooks{
@@ -193,6 +204,12 @@ func runConsolidation(wl, config string, scale Scale, tenants, shards int) (Cons
 			if !t.done {
 				remaining++
 			}
+		}
+	}
+
+	if prof != nil {
+		for _, s := range samplers {
+			prof.Commit(s)
 		}
 	}
 

@@ -14,6 +14,7 @@ import (
 	"vdirect/internal/physmem"
 	"vdirect/internal/replay"
 	"vdirect/internal/telemetry"
+	"vdirect/internal/telemetry/walkprof"
 	"vdirect/internal/trace"
 	"vdirect/internal/vmm"
 	"vdirect/internal/workload"
@@ -222,6 +223,16 @@ func replayRun(spec Spec, e *env) (Result, error) {
 		e.m.SetWalkProbe(probe)
 	}
 	cellName := spec.Workload + "/" + spec.Label
+	// Walk sampling (walkprof) rides the same seam: a per-cell sampler
+	// owned by this goroutine, seeded from the workload spec alone so the
+	// sample stream is identical at any -j / -shards setting, committed
+	// to the profile once at completion.
+	var sampler *walkprof.Sampler
+	prof := walkprof.Enabled()
+	if prof != nil {
+		sampler = prof.Sampler(cellName, 0, spec.WL.Seed)
+		e.m.SetWalkSampler(sampler)
+	}
 	warmSpan := telemetry.StartSpan("replay", cellName+" warmup")
 	var measSpan telemetry.Span
 
@@ -243,6 +254,9 @@ func replayRun(spec Spec, e *env) (Result, error) {
 			e.m.ResetStats()
 			if probe != nil {
 				probe.Reset()
+			}
+			if sampler != nil {
+				sampler.Reset()
 			}
 			warmSpan.End()
 			measSpan = telemetry.StartSpan("replay", cellName+" measure")
@@ -274,6 +288,9 @@ func replayRun(spec Spec, e *env) (Result, error) {
 		reg.Counter("cells").Inc()
 		reg.Counter("accesses.measured").Add(measured)
 		reg.Counter("tlb.l2.evictions").Add(e.m.L2Evictions())
+	}
+	if sampler != nil {
+		prof.Commit(sampler)
 	}
 	return res, nil
 }

@@ -33,6 +33,7 @@ import (
 	"vdirect/internal/ptecache"
 	"vdirect/internal/segment"
 	"vdirect/internal/telemetry"
+	"vdirect/internal/telemetry/walkprof"
 	"vdirect/internal/tlb"
 	"vdirect/internal/trace"
 )
@@ -192,6 +193,20 @@ type MMU struct {
 	// check of overhead.
 	probe *telemetry.WalkProbe
 
+	// sampler, when non-nil, receives a deterministic 1-in-N sample of
+	// resolved L1 misses (walkprof, the simulated BadgerTrap). Like the
+	// probe it lives entirely on the miss path: disabled sampling costs
+	// one nil check per miss and nothing per L1 hit.
+	sampler *walkprof.Sampler
+	// asid is the active address-space tag stamped into samples; it
+	// tracks ContextSwitchASID and stays 0 for single-process cells.
+	asid uint16
+	// walkClass/walkSize carry the last completed walk's miss class and
+	// effective page size from classifyMiss/insertComposite out to the
+	// sampling point in the walk wrappers.
+	walkClass walkprof.MissClass
+	walkSize  addr.PageSize
+
 	refBuf  []pagetable.Ref // reusable guest-walk buffer
 	nrefBuf []pagetable.Ref // reusable nested-walk buffer
 
@@ -293,6 +308,14 @@ func (m *MMU) ActiveScheme() Scheme { return m.scheme }
 // from the reported statistics.
 func (m *MMU) SetWalkProbe(p *telemetry.WalkProbe) { m.probe = p }
 
+// SetWalkSampler installs (or, with nil, removes) a walkprof sampler.
+// Every resolved L1 miss — segment fast path, L2 hit, or completed walk
+// — is offered to it with the miss's classification and exact cost
+// deltas; the sampler decides (deterministically) which to record.
+// Faulting walks are not offered: the access retries after service and
+// the retry's resolution is what gets sampled.
+func (m *MMU) SetWalkSampler(s *walkprof.Sampler) { m.sampler = s }
+
 // Stats returns a copy of the accumulated counters.
 func (m *MMU) Stats() Stats { return m.stats }
 
@@ -332,6 +355,7 @@ func (m *MMU) ContextSwitchASID(gpt *pagetable.Table, guestSeg segment.Registers
 	m.gPT = gpt
 	m.segs.Guest = guestSeg
 	m.updateScheme()
+	m.asid = asid
 	m.l1.SetASID(asid)
 	m.l2.SetASID(asid)
 	m.pwc.SetASID(asid)
@@ -499,6 +523,10 @@ func (m *MMU) dualFastPath(gva uint64, cycles *uint64) (Result, bool) {
 	m.stats.WalkCycles += *cycles
 	hpa := m.segs.VMM.Translate(gpa)
 	m.l1.Insert(gva, hpa, addr.Page4K)
+	if m.sampler != nil && m.sampler.Tick() {
+		m.sampler.Record(string(m.scheme.Name()), gva>>addr.PageShift4K,
+			addr.Page4K, walkprof.ClassZeroD, 0, *cycles, m.asid)
+	}
 	return Result{HPA: hpa, Cycles: *cycles, ZeroD: true}, true
 }
 
@@ -511,6 +539,10 @@ func (m *MMU) probeL2(gva uint64, cycles *uint64) (Result, bool) {
 		*cycles += m.cfg.L2HitCycles
 		m.stats.WalkCycles += *cycles
 		m.l1.Insert(gva, hpa, addr.Page4K)
+		if m.sampler != nil && m.sampler.Tick() {
+			m.sampler.Record(string(m.scheme.Name()), gva>>addr.PageShift4K,
+				addr.Page4K, walkprof.ClassL2Hit, 0, *cycles, m.asid)
+		}
 		return Result{HPA: hpa, Cycles: *cycles, L2Hit: true}, true
 	}
 	m.stats.L2Misses++
@@ -539,45 +571,85 @@ func (m *MMU) escapeGuest(va uint64) bool {
 }
 
 // walk1D invokes the native 1D walk state machine, charging cycles on
-// top of the cost already accumulated. The telemetry probe, when
-// installed, observes each walk's reference and cycle deltas; the
-// wrapper is duplicated per walker (walk1D/walk2D/walkFlat) rather
-// than taking a function value, which would allocate on the hot path.
+// top of the cost already accumulated. The telemetry probe and walkprof
+// sampler, when installed, observe each walk's reference and cycle
+// deltas. The sampler ticks before the walk so the 1-in-N unsampled
+// majority pays only the inlined countdown — counter snapshots and
+// argument setup happen only for selected misses (a selected walk that
+// faults refunds its tick to the next miss). The wrapper is duplicated
+// per walker (walk1D/walk2D/walkFlat) rather than taking a function
+// value, which would allocate on the hot path.
 func (m *MMU) walk1D(gva uint64, cycles uint64) (Result, *Fault) {
 	m.stats.Walks++
-	if m.probe == nil {
+	sampled := m.sampler != nil && m.sampler.Tick()
+	if m.probe == nil && !sampled {
 		return m.nativeWalk(gva, cycles)
 	}
 	refs0, cyc0 := m.stats.WalkMemRefs, m.stats.WalkCycles
 	res, fault := m.nativeWalk(gva, cycles)
-	m.probe.Refs.Observe(m.stats.WalkMemRefs - refs0)
-	m.probe.Cycles.Observe(m.stats.WalkCycles - cyc0)
+	drefs, dcyc := m.stats.WalkMemRefs-refs0, m.stats.WalkCycles-cyc0
+	if m.probe != nil {
+		m.probe.Refs.Observe(drefs)
+		m.probe.Cycles.Observe(dcyc)
+	}
+	if sampled {
+		if fault != nil {
+			m.sampler.Refund()
+		} else {
+			m.sampler.Record(string(m.scheme.Name()), gva>>addr.PageShift4K,
+				m.walkSize, walkprof.ClassWalk1D, drefs, dcyc, m.asid)
+		}
+	}
 	return res, fault
 }
 
 // walk2D invokes the 2D walk state machine of Figure 5(b).
 func (m *MMU) walk2D(gva uint64, cycles uint64) (Result, *Fault) {
 	m.stats.Walks++
-	if m.probe == nil {
+	sampled := m.sampler != nil && m.sampler.Tick()
+	if m.probe == nil && !sampled {
 		return m.nestedWalk2D(gva, cycles)
 	}
 	refs0, cyc0 := m.stats.WalkMemRefs, m.stats.WalkCycles
 	res, fault := m.nestedWalk2D(gva, cycles)
-	m.probe.Refs.Observe(m.stats.WalkMemRefs - refs0)
-	m.probe.Cycles.Observe(m.stats.WalkCycles - cyc0)
+	drefs, dcyc := m.stats.WalkMemRefs-refs0, m.stats.WalkCycles-cyc0
+	if m.probe != nil {
+		m.probe.Refs.Observe(drefs)
+		m.probe.Cycles.Observe(dcyc)
+	}
+	if sampled {
+		if fault != nil {
+			m.sampler.Refund()
+		} else {
+			m.sampler.Record(string(m.scheme.Name()), gva>>addr.PageShift4K,
+				m.walkSize, m.walkClass, drefs, dcyc, m.asid)
+		}
+	}
 	return res, fault
 }
 
 // walkFlat invokes the flattened 2D walk (scheme_flat.go).
 func (m *MMU) walkFlat(gva uint64, cycles uint64) (Result, *Fault) {
 	m.stats.Walks++
-	if m.probe == nil {
+	sampled := m.sampler != nil && m.sampler.Tick()
+	if m.probe == nil && !sampled {
 		return m.flatWalk2D(gva, cycles)
 	}
 	refs0, cyc0 := m.stats.WalkMemRefs, m.stats.WalkCycles
 	res, fault := m.flatWalk2D(gva, cycles)
-	m.probe.Refs.Observe(m.stats.WalkMemRefs - refs0)
-	m.probe.Cycles.Observe(m.stats.WalkCycles - cyc0)
+	drefs, dcyc := m.stats.WalkMemRefs-refs0, m.stats.WalkCycles-cyc0
+	if m.probe != nil {
+		m.probe.Refs.Observe(drefs)
+		m.probe.Cycles.Observe(dcyc)
+	}
+	if sampled {
+		if fault != nil {
+			m.sampler.Refund()
+		} else {
+			m.sampler.Record(string(m.scheme.Name()), gva>>addr.PageShift4K,
+				m.walkSize, m.walkClass, drefs, dcyc, m.asid)
+		}
+	}
 	return res, fault
 }
 
@@ -774,17 +846,24 @@ func (m *MMU) nestedWalk2D(gva uint64, cycles uint64) (Result, *Fault) {
 	return Result{HPA: hpa, Cycles: cycles}, nil
 }
 
-// classifyMiss updates the Table I / Table IV fraction counters.
+// classifyMiss updates the Table I / Table IV fraction counters and
+// records the walk's class for the walkprof sampler (the §VII taxonomy
+// and these counters are the same classification, so they cannot
+// disagree).
 func (m *MMU) classifyMiss(guestCovered, vmmCovered bool) {
 	switch {
 	case guestCovered && vmmCovered:
 		m.stats.MissBoth++
+		m.walkClass = walkprof.ClassWalkBoth
 	case vmmCovered:
 		m.stats.MissVMMOnly++
+		m.walkClass = walkprof.ClassWalkVMMOnly
 	case guestCovered:
 		m.stats.MissGuestOnly++
+		m.walkClass = walkprof.ClassWalkGuestOnly
 	default:
 		m.stats.MissNeither++
+		m.walkClass = walkprof.ClassWalkNeither
 	}
 }
 
@@ -796,6 +875,7 @@ func (m *MMU) insertComposite(gva, hpa uint64, gsize, nsize addr.PageSize) {
 	if nsize < size {
 		size = nsize
 	}
+	m.walkSize = size
 	if size == addr.Page4K {
 		base := gva &^ (addr.PageSize4K - 1)
 		hbase := hpa &^ (addr.PageSize4K - 1)

@@ -12,6 +12,7 @@ import (
 	"vdirect/internal/experiments"
 	"vdirect/internal/replay"
 	"vdirect/internal/telemetry"
+	"vdirect/internal/telemetry/walkprof"
 	"vdirect/internal/trace"
 	"vdirect/internal/workload"
 )
@@ -123,6 +124,26 @@ func BenchmarkTelemetryCellOff(b *testing.B) {
 func BenchmarkTelemetryCellOn(b *testing.B) {
 	run := telemetry.StartRun("bench", nil, false)
 	defer run.Stop()
+	spec := workload.Config{Seed: 1, MemoryMB: 64, Ops: 200000}
+	runCell(b, func() workload.Workload { return workload.New("gups", spec) })
+}
+
+// The walk-sampling pair: the same full cell with sampling off (the
+// default — a nil sampler pointer, one nil check per TLB miss) and
+// with 1-in-64 stride sampling recording per-walk samples. Sampled
+// must stay within 2% of unsampled; benchgate.sh enforces the pair
+// like the rest of the telemetry overhead suite.
+func BenchmarkTelemetryOverheadSampledOff(b *testing.B) {
+	if walkprof.Enabled() != nil {
+		b.Fatal("walk sampling unexpectedly active")
+	}
+	spec := workload.Config{Seed: 1, MemoryMB: 64, Ops: 200000}
+	runCell(b, func() workload.Workload { return workload.New("gups", spec) })
+}
+
+func BenchmarkTelemetryOverheadSampledOn(b *testing.B) {
+	p := walkprof.Enable(walkprof.DefaultPeriod)
+	defer p.Stop()
 	spec := workload.Config{Seed: 1, MemoryMB: 64, Ops: 200000}
 	runCell(b, func() workload.Workload { return workload.New("gups", spec) })
 }

@@ -77,28 +77,36 @@ type HostInfo struct {
 	CPUs int    `json:"cpus"`
 }
 
+// ManifestSchemaVersion is the manifest schema this package writes and
+// understands. History: v1 was the unversioned PR 3 shape (implicitly
+// version 0 on disk); v2 adds schema_version itself and the
+// interpolated p50/p95/p99 fields on histogram snapshots.
+const ManifestSchemaVersion = 2
+
 // Manifest is the serialized run record.
 type Manifest struct {
-	Tool       string            `json:"tool"`
-	Args       []string          `json:"args"`
-	Config     map[string]string `json:"config,omitempty"`
-	Build      BuildInfo         `json:"build"`
-	Host       HostInfo          `json:"host"`
-	Start      time.Time         `json:"start"`
-	DurationMS float64           `json:"duration_ms"`
-	Error      string            `json:"error,omitempty"`
-	Timings    []Timing          `json:"timings,omitempty"`
-	Metrics    Snapshot          `json:"metrics"`
+	SchemaVersion int               `json:"schema_version"`
+	Tool          string            `json:"tool"`
+	Args          []string          `json:"args"`
+	Config        map[string]string `json:"config,omitempty"`
+	Build         BuildInfo         `json:"build"`
+	Host          HostInfo          `json:"host"`
+	Start         time.Time         `json:"start"`
+	DurationMS    float64           `json:"duration_ms"`
+	Error         string            `json:"error,omitempty"`
+	Timings       []Timing          `json:"timings,omitempty"`
+	Metrics       Snapshot          `json:"metrics"`
 }
 
 // Manifest assembles the run record as of now. runErr, when non-nil, is
 // recorded so a manifest from a failed run says so.
 func (r *Run) Manifest(runErr error) Manifest {
 	m := Manifest{
-		Tool:   r.Tool,
-		Args:   os.Args[1:],
-		Config: r.Config,
-		Build:  Build(),
+		SchemaVersion: ManifestSchemaVersion,
+		Tool:          r.Tool,
+		Args:          os.Args[1:],
+		Config:        r.Config,
+		Build:         Build(),
 		Host: HostInfo{
 			OS:   runtime.GOOS,
 			Arch: runtime.GOARCH,
@@ -125,4 +133,30 @@ func (r *Run) WriteManifest(path string, runErr error) error {
 		return fmt.Errorf("telemetry: writing manifest: %w", err)
 	}
 	return nil
+}
+
+// ReadManifest loads and validates a manifest written by WriteManifest.
+// Unknown schema versions are rejected, not guessed at: a v0 document
+// (pre-versioning, no schema_version field) and any future version both
+// fail with an error naming the versions involved, so tooling never
+// silently misreads a shape it predates or postdates.
+func ReadManifest(path string) (Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("telemetry: reading manifest: %w", err)
+	}
+	return ParseManifest(data)
+}
+
+// ParseManifest decodes and version-checks manifest JSON.
+func ParseManifest(data []byte) (Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("telemetry: decoding manifest: %w", err)
+	}
+	if m.SchemaVersion != ManifestSchemaVersion {
+		return Manifest{}, fmt.Errorf("telemetry: manifest has schema_version %d; this reader understands %d",
+			m.SchemaVersion, ManifestSchemaVersion)
+	}
+	return m, nil
 }

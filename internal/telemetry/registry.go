@@ -206,11 +206,17 @@ type Bucket struct {
 	Count uint64 `json:"count"`
 }
 
-// HistValue is a point-in-time histogram reading.
+// HistValue is a point-in-time histogram reading. P50/P95/P99 are the
+// interpolated percentile estimates (Percentile), precomputed so
+// manifest readers and scrapers get them without reimplementing the
+// bucket math.
 type HistValue struct {
 	Count   uint64   `json:"count"`
 	Sum     uint64   `json:"sum"`
 	Max     uint64   `json:"max"`
+	P50     float64  `json:"p50,omitempty"`
+	P95     float64  `json:"p95,omitempty"`
+	P99     float64  `json:"p99,omitempty"`
 	Buckets []Bucket `json:"buckets,omitempty"`
 }
 
@@ -244,6 +250,42 @@ func (h HistValue) Quantile(q float64) uint64 {
 		}
 	}
 	return h.Max
+}
+
+// Percentile returns an interpolated estimate of the q-quantile
+// (q in [0,1]): the rank is located in its log2 bucket and the value
+// interpolated linearly across the bucket's span, clamped to the exact
+// observed max. Unlike Quantile's upper bound, the estimate moves
+// smoothly with the rank, which is what dashboards and manifests want;
+// the true value is still somewhere within the same bucket.
+func (h HistValue) Percentile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	target := q * float64(h.Count)
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for _, b := range h.Buckets {
+		if float64(cum)+float64(b.Count) >= target {
+			frac := (target - float64(cum)) / float64(b.Count)
+			lo, hi := float64(b.Lo), float64(b.Hi)
+			if b.Hi > h.Max || b.Hi < b.Lo { // cap at max; Hi wraps in the top bucket
+				hi = float64(h.Max)
+			}
+			if hi < lo {
+				hi = lo
+			}
+			v := lo + frac*(hi-lo)
+			if v > float64(h.Max) {
+				v = float64(h.Max)
+			}
+			return v
+		}
+		cum += b.Count
+	}
+	return float64(h.Max)
 }
 
 // Snapshot is a consistent-enough point-in-time reading of a registry:
@@ -287,6 +329,9 @@ func (r *Registry) Snapshot() Snapshot {
 			}
 			hv.Buckets = append(hv.Buckets, Bucket{Lo: lo, Hi: hi, Count: n})
 		}
+		hv.P50 = hv.Percentile(0.50)
+		hv.P95 = hv.Percentile(0.95)
+		hv.P99 = hv.Percentile(0.99)
 		s.Histograms[name] = hv
 	}
 	return s

@@ -1,0 +1,466 @@
+// Aggregation and rendering over a sample Dump: the address-space
+// heatmap (log2-bucketed VPN regions × miss class × scheme), an exact
+// quantile sketch for walk cycles, top-N hot-page tables, per-cell and
+// per-scheme cost attribution, and a collapsed-stack file for standard
+// flamegraph tooling. Every aggregate scales sampled sums by the
+// period, so the estimates are directly comparable to the MMU's own
+// counters (within sampling error). All output orders are canonical —
+// renderings of the same Dump are byte-identical everywhere.
+
+package walkprof
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"vdirect/internal/addr"
+	"vdirect/internal/stats"
+)
+
+// RegionBucket maps a 4K VPN to its log2 address-region bucket: bucket
+// 0 is VPN 0 (the first 4K of address space), bucket k ≥ 1 covers VPNs
+// [2^(k-1), 2^k).
+func RegionBucket(vpn uint64) int { return bits.Len64(vpn) }
+
+// RegionLabel renders a bucket as its virtual address range.
+func RegionLabel(bucket int) string {
+	if bucket == 0 {
+		return "[0,4K)"
+	}
+	lo := uint64(1) << (bucket - 1) << addr.PageShift4K
+	if bucket >= 52 {
+		// Above the canonical address width; print raw to avoid overflow.
+		return fmt.Sprintf("[2^%d,2^%d)", bucket-1+addr.PageShift4K, bucket+addr.PageShift4K)
+	}
+	hi := uint64(1) << bucket << addr.PageShift4K
+	return fmt.Sprintf("[%s,%s)", humanBytes(lo), humanBytes(hi))
+}
+
+func humanBytes(b uint64) string {
+	switch {
+	case b >= 1<<40 && b%(1<<40) == 0:
+		return fmt.Sprintf("%dT", b>>40)
+	case b >= 1<<30 && b%(1<<30) == 0:
+		return fmt.Sprintf("%dG", b>>30)
+	case b >= 1<<20 && b%(1<<20) == 0:
+		return fmt.Sprintf("%dM", b>>20)
+	case b >= 1<<10 && b%(1<<10) == 0:
+		return fmt.Sprintf("%dK", b>>10)
+	}
+	return fmt.Sprint(b)
+}
+
+// HeatCell is one occupied heatmap cell: an address region under one
+// scheme and miss class, with sampled and period-scaled totals.
+type HeatCell struct {
+	Scheme  string
+	Class   MissClass
+	Bucket  int
+	Samples uint64
+	Refs    uint64 // sampled sum (scale by Period for the estimate)
+	Cycles  uint64
+}
+
+// Heatmap aggregates the dump into scheme × class × region cells,
+// sorted by scheme, class, bucket.
+func Heatmap(d Dump) []HeatCell {
+	type key struct {
+		scheme string
+		class  MissClass
+		bucket int
+	}
+	agg := make(map[key]*HeatCell)
+	for _, c := range d.Cells {
+		for _, s := range c.Samples {
+			k := key{s.Scheme, s.Class, RegionBucket(s.VPN)}
+			h := agg[k]
+			if h == nil {
+				h = &HeatCell{Scheme: k.scheme, Class: k.class, Bucket: k.bucket}
+				agg[k] = h
+			}
+			h.Samples++
+			h.Refs += s.Refs
+			h.Cycles += s.Cycles
+		}
+	}
+	out := make([]HeatCell, 0, len(agg))
+	for _, h := range agg {
+		out = append(out, *h)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Scheme != out[j].Scheme {
+			return out[i].Scheme < out[j].Scheme
+		}
+		if out[i].Class != out[j].Class {
+			return out[i].Class < out[j].Class
+		}
+		return out[i].Bucket < out[j].Bucket
+	})
+	return out
+}
+
+// HeatmapTable renders the heatmap with period-scaled estimates.
+func HeatmapTable(d Dump) *stats.Table {
+	t := stats.NewTable("walkprof — address-space heatmap (scheme × miss class × log2 VPN region)",
+		"scheme", "class", "region", "samples", "est refs", "est cycles")
+	for _, h := range Heatmap(d) {
+		t.AddRow(h.Scheme, h.Class.String(), RegionLabel(h.Bucket),
+			fmt.Sprint(h.Samples), fmt.Sprint(h.Refs*d.Period), fmt.Sprint(h.Cycles*d.Period))
+	}
+	return t
+}
+
+// Quantile is an exact quantile sketch over discrete values: a value →
+// count map, so percentiles are computed from the true distribution
+// rather than interpolated buckets. Walk cycle costs are small
+// integers with heavy repetition, which keeps the map tiny.
+type Quantile struct {
+	counts map[uint64]uint64
+	n      uint64
+}
+
+// Add records one observation.
+func (q *Quantile) Add(v uint64) {
+	if q.counts == nil {
+		q.counts = make(map[uint64]uint64)
+	}
+	q.counts[v]++
+	q.n++
+}
+
+// Count returns the number of observations.
+func (q *Quantile) Count() uint64 { return q.n }
+
+// Percentile returns the exact nearest-rank p-quantile (p in [0,1]).
+func (q *Quantile) Percentile(p float64) uint64 {
+	if q.n == 0 {
+		return 0
+	}
+	rank := uint64(p * float64(q.n))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > q.n {
+		rank = q.n
+	}
+	vals := make([]uint64, 0, len(q.counts))
+	for v := range q.counts {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	var cum uint64
+	for _, v := range vals {
+		cum += q.counts[v]
+		if cum >= rank {
+			return v
+		}
+	}
+	return vals[len(vals)-1]
+}
+
+// Max returns the largest observed value.
+func (q *Quantile) Max() uint64 {
+	var m uint64
+	for v := range q.counts {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// SchemeQuantileRow summarizes one scheme's sampled walk-cycle
+// distribution with exact percentiles.
+type SchemeQuantileRow struct {
+	Scheme  string `json:"scheme"`
+	Samples uint64 `json:"samples"`
+	P50     uint64 `json:"p50"`
+	P90     uint64 `json:"p90"`
+	P99     uint64 `json:"p99"`
+	Max     uint64 `json:"max"`
+}
+
+// CycleQuantiles computes exact per-scheme cycle percentiles from the
+// sampled misses.
+func CycleQuantiles(d Dump) []SchemeQuantileRow {
+	qs := make(map[string]*Quantile)
+	for _, c := range d.Cells {
+		for _, s := range c.Samples {
+			q := qs[s.Scheme]
+			if q == nil {
+				q = &Quantile{}
+				qs[s.Scheme] = q
+			}
+			q.Add(s.Cycles)
+		}
+	}
+	names := make([]string, 0, len(qs))
+	for n := range qs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]SchemeQuantileRow, 0, len(names))
+	for _, n := range names {
+		q := qs[n]
+		out = append(out, SchemeQuantileRow{
+			Scheme:  n,
+			Samples: q.Count(),
+			P50:     q.Percentile(0.50),
+			P90:     q.Percentile(0.90),
+			P99:     q.Percentile(0.99),
+			Max:     q.Max(),
+		})
+	}
+	return out
+}
+
+// QuantileTable renders the per-scheme exact cycle percentiles.
+func QuantileTable(d Dump) *stats.Table {
+	t := stats.NewTable("walkprof — exact miss-cost percentiles (cycles per sampled miss)",
+		"scheme", "samples", "p50", "p90", "p99", "max")
+	for _, r := range CycleQuantiles(d) {
+		t.AddRow(r.Scheme, fmt.Sprint(r.Samples), fmt.Sprint(r.P50),
+			fmt.Sprint(r.P90), fmt.Sprint(r.P99), fmt.Sprint(r.Max))
+	}
+	return t
+}
+
+// PageStat aggregates samples for one virtual page in one cell.
+type PageStat struct {
+	Cell    string
+	Tenant  int
+	Scheme  string
+	VPN     uint64
+	Samples uint64
+	Refs    uint64
+	Cycles  uint64
+}
+
+// TopPages returns the n hottest pages by sampled cycle cost,
+// deterministically tie-broken by cell, tenant, then VPN.
+func TopPages(d Dump, n int) []PageStat {
+	type key struct {
+		cell   string
+		tenant int
+		scheme string
+		vpn    uint64
+	}
+	agg := make(map[key]*PageStat)
+	for _, c := range d.Cells {
+		for _, s := range c.Samples {
+			k := key{c.Cell, c.Tenant, s.Scheme, s.VPN}
+			p := agg[k]
+			if p == nil {
+				p = &PageStat{Cell: c.Cell, Tenant: c.Tenant, Scheme: s.Scheme, VPN: s.VPN}
+				agg[k] = p
+			}
+			p.Samples++
+			p.Refs += s.Refs
+			p.Cycles += s.Cycles
+		}
+	}
+	out := make([]PageStat, 0, len(agg))
+	for _, p := range agg {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		if out[i].Cell != out[j].Cell {
+			return out[i].Cell < out[j].Cell
+		}
+		if out[i].Tenant != out[j].Tenant {
+			return out[i].Tenant < out[j].Tenant
+		}
+		if out[i].Scheme != out[j].Scheme {
+			return out[i].Scheme < out[j].Scheme
+		}
+		return out[i].VPN < out[j].VPN
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// TopPagesTable renders the hot-page list with period-scaled estimates.
+func TopPagesTable(d Dump, n int) *stats.Table {
+	t := stats.NewTable(fmt.Sprintf("walkprof — top %d hot pages by sampled miss cost", n),
+		"cell", "tenant", "scheme", "vpn", "samples", "est refs", "est cycles")
+	for _, p := range TopPages(d, n) {
+		t.AddRow(p.Cell, fmt.Sprint(p.Tenant), p.Scheme, fmt.Sprintf("%#x", p.VPN),
+			fmt.Sprint(p.Samples), fmt.Sprint(p.Refs*d.Period), fmt.Sprint(p.Cycles*d.Period))
+	}
+	return t
+}
+
+// SchemeAttribution is the per-scheme cost attribution: sampled sums
+// plus their period-scaled estimates of the scheme's true totals.
+type SchemeAttribution struct {
+	Scheme  string `json:"scheme"`
+	Samples uint64 `json:"samples"`
+	Refs    uint64 `json:"refs"`
+	Cycles  uint64 `json:"cycles"`
+}
+
+// EstRefs returns the period-scaled estimate of total walk references.
+func (a SchemeAttribution) EstRefs(period uint64) uint64 { return a.Refs * period }
+
+// EstCycles returns the period-scaled estimate of total walk cycles.
+func (a SchemeAttribution) EstCycles(period uint64) uint64 { return a.Cycles * period }
+
+// CellAttribution is the per-cell/tenant view of the same attribution.
+type CellAttribution struct {
+	Cell    string
+	Tenant  int
+	Samples uint64
+	Refs    uint64
+	Cycles  uint64
+}
+
+// Attribution aggregates the dump by scheme and by cell/tenant.
+func Attribution(d Dump) ([]SchemeAttribution, []CellAttribution) {
+	bySch := make(map[string]*SchemeAttribution)
+	var cells []CellAttribution
+	for _, c := range d.Cells {
+		ca := CellAttribution{Cell: c.Cell, Tenant: c.Tenant}
+		for _, s := range c.Samples {
+			a := bySch[s.Scheme]
+			if a == nil {
+				a = &SchemeAttribution{Scheme: s.Scheme}
+				bySch[s.Scheme] = a
+			}
+			a.Samples++
+			a.Refs += s.Refs
+			a.Cycles += s.Cycles
+			ca.Samples++
+			ca.Refs += s.Refs
+			ca.Cycles += s.Cycles
+		}
+		cells = append(cells, ca)
+	}
+	names := make([]string, 0, len(bySch))
+	for n := range bySch {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	schemes := make([]SchemeAttribution, 0, len(names))
+	for _, n := range names {
+		schemes = append(schemes, *bySch[n])
+	}
+	return schemes, cells
+}
+
+// AttributionTables renders the per-scheme and per-cell attribution.
+func AttributionTables(d Dump) (scheme, cell *stats.Table) {
+	schemes, cells := Attribution(d)
+	scheme = stats.NewTable("walkprof — per-scheme cost attribution (period-scaled estimates)",
+		"scheme", "samples", "est refs", "est cycles")
+	for _, a := range schemes {
+		scheme.AddRow(a.Scheme, fmt.Sprint(a.Samples),
+			fmt.Sprint(a.EstRefs(d.Period)), fmt.Sprint(a.EstCycles(d.Period)))
+	}
+	cell = stats.NewTable("walkprof — per-cell / per-tenant cost attribution",
+		"cell", "tenant", "samples", "est refs", "est cycles")
+	for _, a := range cells {
+		cell.AddRow(a.Cell, fmt.Sprint(a.Tenant), fmt.Sprint(a.Samples),
+			fmt.Sprint(a.Refs*d.Period), fmt.Sprint(a.Cycles*d.Period))
+	}
+	return scheme, cell
+}
+
+// Collapsed renders the dump as collapsed-stack ("folded") lines —
+// `cell;scheme;class;region value` — consumable by standard flamegraph
+// tooling (flamegraph.pl, inferno, speedscope). The weight is the
+// period-scaled cycle estimate, so frame widths read as cycles.
+func Collapsed(d Dump) string {
+	type key struct {
+		cell   string
+		tenant int
+		scheme string
+		class  MissClass
+		bucket int
+	}
+	agg := make(map[key]uint64)
+	for _, c := range d.Cells {
+		for _, s := range c.Samples {
+			agg[key{c.Cell, c.Tenant, s.Scheme, s.Class, RegionBucket(s.VPN)}] += s.Cycles
+		}
+	}
+	keys := make([]key, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		switch {
+		case a.cell != b.cell:
+			return a.cell < b.cell
+		case a.tenant != b.tenant:
+			return a.tenant < b.tenant
+		case a.scheme != b.scheme:
+			return a.scheme < b.scheme
+		case a.class != b.class:
+			return a.class < b.class
+		default:
+			return a.bucket < b.bucket
+		}
+	})
+	var b strings.Builder
+	for _, k := range keys {
+		name := k.cell
+		if k.tenant != 0 {
+			name = fmt.Sprintf("%s#%d", k.cell, k.tenant)
+		}
+		fmt.Fprintf(&b, "%s;%s;%s;%s %d\n",
+			name, k.scheme, k.class, RegionLabel(k.bucket), agg[k]*d.Period)
+	}
+	return b.String()
+}
+
+// Report renders the full walkprof analysis: summary line, per-scheme
+// and per-cell attribution, exact percentiles, top-N pages, and the
+// heatmap. Both cmd/walkprof and paperbench's walkprof section print
+// exactly this.
+func Report(d Dump, topN int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "walkprof: %d samples across %d cells, period 1-in-%d (schema v%d)\n\n",
+		d.NumSamples(), len(d.Cells), d.Period, d.SchemaVersion)
+	schemeT, cellT := AttributionTables(d)
+	b.WriteString(schemeT.Render())
+	b.WriteString("\n")
+	b.WriteString(cellT.Render())
+	b.WriteString("\n")
+	b.WriteString(QuantileTable(d).Render())
+	b.WriteString("\n")
+	b.WriteString(TopPagesTable(d, topN).Render())
+	b.WriteString("\n")
+	b.WriteString(HeatmapTable(d).Render())
+	return b.String()
+}
+
+// Summary is the JSON-friendly aggregate the live endpoint serves.
+type Summary struct {
+	SchemaVersion int                 `json:"schema_version"`
+	Period        uint64              `json:"period"`
+	Cells         int                 `json:"cells"`
+	Samples       int                 `json:"samples"`
+	Schemes       []SchemeAttribution `json:"schemes,omitempty"`
+	Quantiles     []SchemeQuantileRow `json:"quantiles,omitempty"`
+}
+
+// Summarize builds the endpoint summary from a dump.
+func Summarize(d Dump) Summary {
+	schemes, _ := Attribution(d)
+	return Summary{
+		SchemaVersion: d.SchemaVersion,
+		Period:        d.Period,
+		Cells:         len(d.Cells),
+		Samples:       d.NumSamples(),
+		Schemes:       schemes,
+		Quantiles:     CycleQuantiles(d),
+	}
+}

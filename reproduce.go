@@ -7,6 +7,7 @@ import (
 	"vdirect/internal/experiments"
 	"vdirect/internal/sched"
 	"vdirect/internal/telemetry"
+	"vdirect/internal/telemetry/walkprof"
 	"vdirect/internal/workload"
 )
 
@@ -141,6 +142,12 @@ type Options struct {
 	// tenants are partitioned across this many goroutines (0 or 1 =
 	// serial). Results are byte-identical at any setting.
 	Shards int
+	// Walkprof appends the walk-level attribution section, rendered from
+	// the samples the active walkprof profile collected across every
+	// section's cells. It requires sampling to be enabled (the -sample /
+	// -samples flags, or walkprof.Enable); with sampling off the section
+	// says so instead of rendering empty tables.
+	Walkprof bool
 }
 
 // ReproduceAll runs the complete evaluation at the given scale —
@@ -257,5 +264,29 @@ func ReproduceAllOpts(scale Scale, opts Options) (Report, error) {
 			CSV:  flatT.CSV(),
 		})
 	}
+	if opts.Walkprof {
+		rep.Sections = append(rep.Sections, walkprofSection())
+	}
 	return rep, nil
+}
+
+// walkprofSection renders the walk-level attribution report from the
+// samples every completed cell committed to the active profile. Ordering
+// inside the dump is canonical, so the section is byte-identical at any
+// parallelism or shard count.
+func walkprofSection() ReportSection {
+	p := walkprof.Enabled()
+	if p == nil {
+		return ReportSection{
+			Name: "walkprof",
+			Text: "walkprof: sampling not enabled (use -sample N or -samples FILE)\n",
+		}
+	}
+	d := p.Snapshot()
+	schemeT, _ := walkprof.AttributionTables(d)
+	return ReportSection{
+		Name: "walkprof",
+		Text: walkprof.Report(d, 20),
+		CSV:  schemeT.CSV(),
+	}
 }

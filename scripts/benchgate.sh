@@ -1,8 +1,11 @@
 #!/usr/bin/env sh
-# Benchmark regression gate for the translation hot path. Two benches
-# stand guard: BenchmarkCellBlock (a full simulation cell on the block
-# path — the number the paper-scale runs live on) and
-# BenchmarkSetAssocLookupHit (the TLB probe itself, the innermost loop).
+# Benchmark regression gate for the translation hot path. Three
+# benches stand guard: BenchmarkCellBlock (a full simulation cell on
+# the block path — the number the paper-scale runs live on),
+# BenchmarkSetAssocLookupHit (the TLB probe itself, the innermost
+# loop), and BenchmarkTelemetryOverheadSampledOn (the same full cell
+# with 1-in-64 walk sampling enabled, so the sampler's hot-path cost
+# can't creep).
 # Each runs count=5 with a fixed iteration count and the BEST run is
 # compared against scripts/bench_baseline.json — min-of-N is the noise-
 # robust statistic on shared runners, where a single run can eat a
@@ -51,4 +54,5 @@ gate() {
 
 gate BenchmarkCellBlock ./internal/replay/ 10x
 gate BenchmarkSetAssocLookupHit ./internal/tlb/ 2000000x
+gate BenchmarkTelemetryOverheadSampledOn ./internal/replay/ 10x
 exit $status

@@ -5,8 +5,13 @@
 # equivalence suite additionally pins the block streaming path to the
 # per-event shim — byte-identical Result/Stats — before the full tests.
 # The telemetry-overhead bench runs in short mode (3 iterations) as a
-# smoke test that the instrumented hot path still builds and runs; the
+# smoke test that the instrumented hot path still builds and runs — it
+# covers both the run-active and the walk-sampling-enabled paths; the
 # recorded overhead comparison lives in EXPERIMENTS.md.
+# samplecheck.sh then asserts observation does not perturb the
+# experiment: the full medium paperbench report is byte-identical with
+# 1-in-64 walk sampling on and off, and cmd/walkprof round-trips the
+# collected sample file.
 # The scheme exhaustiveness lint and conformance suite run first: every
 # Mode constant in internal/mmu/scheme.go must have a fixture in the
 # conformance suite, and every registered scheme must pass it, before
@@ -46,5 +51,6 @@ go test -race ./internal/oracle/...
 go test -run Equivalence -race ./internal/replay/...
 go test -race ./...
 go test -run '^$' -bench 'TelemetryOverhead' -benchtime 3x ./internal/replay/
+sh scripts/samplecheck.sh
 sh scripts/covergate.sh
 sh scripts/benchgate.sh

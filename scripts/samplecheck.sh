@@ -1,0 +1,46 @@
+#!/usr/bin/env sh
+# Sampling non-perturbation gate: walk sampling is observation, and
+# observation must not change the experiment. The full medium
+# paperbench report — stdout and every per-section -out file — must be
+# byte-identical with 1-in-64 sampling on and off. Only the trailing
+# wall-clock line is stripped from stdout before comparing; everything
+# the report states about the simulation must match exactly. The
+# collected sample file must then survive a cmd/walkprof round trip:
+# schema accepted, every table rendered, collapsed stacks written.
+set -eu
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/paperbench" ./cmd/paperbench
+go build -o "$tmp/walkprof" ./cmd/walkprof
+
+"$tmp/paperbench" -scale medium -quiet -out "$tmp/off" \
+    | grep -v '^— paperbench completed' > "$tmp/off.txt"
+"$tmp/paperbench" -scale medium -quiet -out "$tmp/on" \
+    -sample 64 -samples "$tmp/walks.jsonl" \
+    | grep -v '^— paperbench completed' > "$tmp/on.txt"
+
+if ! cmp -s "$tmp/off.txt" "$tmp/on.txt"; then
+    echo "samplecheck: medium paperbench stdout differs with sampling on" >&2
+    diff "$tmp/off.txt" "$tmp/on.txt" >&2 || true
+    exit 1
+fi
+if ! diff -r "$tmp/off" "$tmp/on" >/dev/null; then
+    echo "samplecheck: medium paperbench -out files differ with sampling on" >&2
+    diff -r "$tmp/off" "$tmp/on" >&2 || true
+    exit 1
+fi
+
+if ! [ -s "$tmp/walks.jsonl" ]; then
+    echo "samplecheck: sampling produced no sample file" >&2
+    exit 1
+fi
+"$tmp/walkprof" -top 10 -flame "$tmp/walks.folded" "$tmp/walks.jsonl" > "$tmp/report.txt"
+if ! [ -s "$tmp/report.txt" ] || ! [ -s "$tmp/walks.folded" ]; then
+    echo "samplecheck: walkprof produced an empty report or flame file" >&2
+    exit 1
+fi
+
+echo "samplecheck: report identical with sampling on; walkprof round trip OK"
