@@ -1,0 +1,143 @@
+// Command hostsim runs one whole-host consolidation cell — N guest
+// VMs, each with its own kernel and tenants, contending for a single
+// shared host physical memory under the policy engine's churn — and
+// prints the per-guest report: mode mixture, translation overhead,
+// owner-accounted footprint, policy-op counters, and the host's
+// fragmentation state.
+//
+// With -sweep it instead sweeps density 1..N on a fixed host size and
+// prints the fragmentation-knee table `paperbench -only host` emits.
+// Output is byte-identical at any -shards.
+//
+// Usage:
+//
+//	hostsim                           # 4 guests, gups, auto-sized host
+//	hostsim -guests 8 -hostmb 280     # squeeze 8 guests into 280MB
+//	hostsim -sweep -guests 8          # density sweep with the knee
+//	hostsim -workload memcached -ops 100000 -shards 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vdirect/internal/addr"
+	"vdirect/internal/experiments"
+	"vdirect/internal/host"
+	"vdirect/internal/telemetry"
+	"vdirect/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hostsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() (retErr error) {
+	var (
+		guests  = flag.Int("guests", 4, "consolidation density: VMs to admit (sweep: deepest step)")
+		tenants = flag.Int("tenants", 2, "processes per guest")
+		wl      = flag.String("workload", "gups", "Table V workload every tenant runs")
+		memMB   = flag.Int("mem", 8, "per-tenant primary region size in MB")
+		ops     = flag.Int("ops", 50000, "per-tenant trace length")
+		hostMB  = flag.Uint64("hostmb", 0, "host physical memory in MB (0 = auto-size for -guests)")
+		seed    = flag.Uint64("seed", 42, "policy engine seed")
+		shards  = flag.Int("shards", 1, "replay shard goroutines; output is identical at any value")
+		sweep   = flag.Bool("sweep", false, "sweep density 1..-guests on a fixed host instead of one cell")
+	)
+	var tf telemetry.Flags
+	tf.Register(flag.CommandLine)
+	flag.Parse()
+
+	if tf.Version {
+		fmt.Println(telemetry.VersionString("hostsim"))
+		return nil
+	}
+	sess, err := tf.Start("hostsim", map[string]string{
+		"guests":   fmt.Sprint(*guests),
+		"workload": *wl,
+		"sweep":    fmt.Sprint(*sweep),
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := sess.Close(retErr); retErr == nil {
+			retErr = err
+		}
+	}()
+
+	if !workload.Exists(*wl) {
+		return fmt.Errorf("unknown workload %q", *wl)
+	}
+	cfg := host.Config{
+		Guests:          *guests,
+		TenantsPerGuest: *tenants,
+		Workload:        *wl,
+		WL:              workload.Config{Seed: 1, MemoryMB: *memMB, Ops: *ops},
+		HostMemory:      *hostMB << 20,
+		GuestHeadroom:   32 << 20,
+		BalloonFloor:    8 << 20,
+		Seed:            *seed,
+		Shards:          *shards,
+	}
+
+	if *sweep {
+		return runSweep(cfg)
+	}
+	s, err := host.NewSim(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := s.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.HostTable([]host.Result{res}).Render())
+	fmt.Println(experiments.HostGuestTable(res).Render())
+	return nil
+}
+
+// runSweep reruns the cell at every density 1..cfg.Guests over one
+// fixed host size, the shape of the paperbench host section. Densities
+// run serially; each reuses cfg with only Guests (and, when auto-
+// sized, the knee-placing host size) changed.
+func runSweep(cfg host.Config) error {
+	maxDensity := cfg.Guests
+	if cfg.HostMemory == 0 {
+		// Same knee placement as the paperbench study: about 5/8 of the
+		// deepest density fits Dual Direct.
+		probe := cfg
+		probe.Guests = 1
+		gs := probe.GuestSize()
+		knee := maxDensity * 5 / 8
+		if knee < 1 {
+			knee = 1
+		}
+		cfg.HostMemory = addr.AlignUp(uint64(knee)*gs+gs/2+(16<<20), addr.PageSize4K)
+	}
+	rows := make([]host.Result, 0, maxDensity)
+	for d := 1; d <= maxDensity; d++ {
+		c := cfg
+		c.Guests = d
+		c.Name = "" // re-derive the cell label per density
+		if c.Shards > d {
+			c.Shards = d
+		}
+		s, err := host.NewSim(c)
+		if err != nil {
+			return fmt.Errorf("density %d: %w", d, err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			return fmt.Errorf("density %d: %w", d, err)
+		}
+		rows = append(rows, res)
+	}
+	fmt.Println(experiments.HostTable(rows).Render())
+	fmt.Println(experiments.HostGuestTable(rows[len(rows)-1]).Render())
+	return nil
+}

@@ -23,6 +23,9 @@
 //	                                 # offline with cmd/walkprof
 //	paperbench -only walkprof        # walk-level attribution section
 //	                                 # (auto-enables sampling)
+//	paperbench -only host -shards 4  # whole-host consolidation-density
+//	                                 # sweep (fragmentation knee and
+//	                                 # escape-filter cost)
 //	paperbench -listen :8080         # live /metrics, /snapshot,
 //	                                 # /walkprof, /debug/pprof/
 package main
@@ -51,8 +54,9 @@ func main() {
 func run() (retErr error) {
 	var (
 		scaleName  = flag.String("scale", "medium", "simulation scale: small|medium|full")
-		only       = flag.String("only", "", "comma-separated section subset (figure1,figure11,figure12,figure13,sectionVIII,breakdown,tableIV,shadow,sharing,energy,tableII,tableIII; naming consolidation, schemes, or walkprof also enables that extension study)")
-		shards     = flag.Int("shards", 1, "intra-cell shard goroutines for the consolidation study; output is identical at any value")
+		only       = flag.String("only", "", "comma-separated section subset (figure1,figure11,figure12,figure13,sectionVIII,breakdown,tableIV,shadow,sharing,energy,tableII,tableIII; naming consolidation, schemes, host, or walkprof also enables that extension study)")
+		shards     = flag.Int("shards", 1, "intra-cell shard goroutines for the consolidation and host studies; output is identical at any value")
+		density    = flag.Int("density", 8, "host study's maximum consolidation density (guests at the deepest sweep step)")
 		outDir     = flag.String("out", "", "directory to write per-section files into")
 		trials     = flag.Int("fig13-trials", 30, "trials per escape-filter point")
 		jobs       = flag.Int("j", 0, "max concurrently simulated cells (0 = GOMAXPROCS); output is identical at any -j")
@@ -130,6 +134,8 @@ func run() (retErr error) {
 		Consolidation: want["consolidation"],
 		Schemes:       want["schemes"],
 		Walkprof:      want["walkprof"],
+		Host:          want["host"],
+		HostDensity:   *density,
 		Shards:        *shards,
 	}
 	if !*quiet {

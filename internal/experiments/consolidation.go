@@ -2,11 +2,12 @@
 // independent VMs, and the simulator can exploit that independence. Each
 // tenant owns a complete private stack — host memory, VM, guest kernel,
 // process, MMU, replay engine — so tenants never share mutable state and
-// the study can partition them across shard goroutines. Shards advance
-// their tenants one scheduling quantum at a time and meet at a barrier
-// where per-shard statistics merge in fixed tenant order, making the
-// aggregate byte-identical at any shard count: the totals are sums of
-// per-tenant values that each depend only on that tenant's seed.
+// the study can partition them across shard goroutines via
+// sched.RunSharded: shards advance their tenants one scheduling quantum
+// at a time and meet at a barrier, with statistics accumulated in
+// tenant-indexed cells each written only by the owning shard, making
+// the aggregate byte-identical at any shard count: the totals are sums
+// of per-tenant values that each depend only on that tenant's seed.
 //
 // The modeled result is the paper's consolidation argument in §VIII:
 // nested paging's overhead compounds as tenants multiply, while Dual
@@ -16,11 +17,11 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"vdirect/internal/mmu"
 	"vdirect/internal/perfmodel"
 	"vdirect/internal/replay"
+	"vdirect/internal/sched"
 	"vdirect/internal/stats"
 	"vdirect/internal/telemetry/walkprof"
 	"vdirect/internal/trace"
@@ -48,11 +49,10 @@ type ConsolidationResult struct {
 	WorstTenant float64
 }
 
-// shardStats is a telemetry.Local-style statistics shard: one per shard
-// goroutine, plain (non-atomic) increments on the simulation path, and
-// folded into the cell aggregate only at quantum barriers by the
-// coordinator. Tenant-indexed so the merge order never depends on shard
-// scheduling.
+// shardStats holds tenant-indexed statistics cells. Each cell is
+// written only by the shard goroutine that owns the tenant (see
+// sched.RunSharded's determinism contract), so plain increments are
+// race-free and the totals never depend on shard scheduling.
 type shardStats struct {
 	accesses   []uint64 // by tenant
 	walkCycles []uint64 // by tenant
@@ -70,7 +70,6 @@ type tenant struct {
 	env    *env
 	eng    *replay.Engine
 	cycles uint64 // walk cycles accumulated by the access hook
-	done   bool
 }
 
 // ConsolidationStudy simulates `tenants` independent VMs per workload ×
@@ -144,67 +143,21 @@ func runConsolidation(wl, config string, scale Scale, tenants, shards int) (Cons
 
 	// Quantum-stepped execution: each round, every shard advances each
 	// of its live tenants by one quantum, entirely within tenant-private
-	// state. At the barrier the coordinator folds the shard statistics
-	// into the aggregate in tenant order.
+	// state (sched.RunSharded supplies the barrier discipline).
 	agg := newShardStats(tenants)
-	locals := make([]*shardStats, shards)
-	for s := range locals {
-		locals[s] = newShardStats(tenants)
-	}
-	var (
-		wg       sync.WaitGroup
-		errMu    sync.Mutex
-		firstErr error
-	)
-	remaining := tenants
-	for remaining > 0 {
-		wg.Add(shards)
-		for s := 0; s < shards; s++ {
-			go func(s int) {
-				defer wg.Done()
-				local := locals[s]
-				for i := s; i < tenants; i += shards {
-					t := ts[i]
-					if t.done {
-						continue
-					}
-					before := t.cycles
-					n, more, err := t.eng.Step(ConsolidationQuantum)
-					if err != nil {
-						errMu.Lock()
-						if firstErr == nil {
-							firstErr = fmt.Errorf("experiments: consolidation tenant %d: %w", i, err)
-						}
-						errMu.Unlock()
-						t.done = true
-						continue
-					}
-					local.accesses[i] += uint64(n)
-					local.walkCycles[i] += t.cycles - before
-					if !more {
-						t.done = true
-					}
-				}
-			}(s)
+	err = sched.RunSharded(shards, tenants, func(i int) (bool, error) {
+		t := ts[i]
+		before := t.cycles
+		n, more, err := t.eng.Step(ConsolidationQuantum)
+		if err != nil {
+			return true, fmt.Errorf("experiments: consolidation tenant %d: %w", i, err)
 		}
-		wg.Wait()
-		if firstErr != nil {
-			return ConsolidationResult{}, firstErr
-		}
-		// Barrier merge, tenant order: shard locals drain into the
-		// aggregate and reset for the next quantum.
-		for i := 0; i < tenants; i++ {
-			l := locals[i%shards]
-			agg.accesses[i] += l.accesses[i]
-			agg.walkCycles[i] += l.walkCycles[i]
-			l.accesses[i], l.walkCycles[i] = 0, 0
-		}
-		remaining = 0
-		for _, t := range ts {
-			if !t.done {
-				remaining++
-			}
-		}
+		agg.accesses[i] += uint64(n)
+		agg.walkCycles[i] += t.cycles - before
+		return !more, nil
+	}, nil)
+	if err != nil {
+		return ConsolidationResult{}, err
 	}
 
 	if prof != nil {

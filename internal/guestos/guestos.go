@@ -92,6 +92,11 @@ func NewKernel(mem *physmem.Memory, backend VMMBackend) *Kernel {
 	return &Kernel{Mem: mem, backend: backend}
 }
 
+// SetBackend rebinds the kernel's VMM backend. Live migration hands a
+// guest to a new VM object; the kernel keeps running over the same
+// guest physical memory but must talk to the new hypervisor side.
+func (k *Kernel) SetBackend(b VMMBackend) { k.backend = b }
+
 // CreateProcess allocates a fresh address space.
 func (k *Kernel) CreateProcess(name string) (*Process, error) {
 	pt, err := pagetable.New(k.Mem)
@@ -297,36 +302,58 @@ func (p *Process) Prefault(r addr.Range) error {
 // scattered free frames with the balloon driver, hand them to the VMM,
 // and receive the same amount of fresh contiguous guest physical
 // memory via hotplug. Returns the new contiguous range, onlined and
-// ready to back a guest segment.
+// ready to back a guest segment. It composes the two primitives a host
+// policy engine also drives independently: BalloonOut and HotplugGrow.
 func (k *Kernel) SelfBalloon(size uint64, pick func(n uint64) uint64) (addr.Range, error) {
+	if _, err := k.BalloonOut(size, pick); err != nil {
+		return addr.Range{}, err
+	}
+	return k.HotplugGrow(size)
+}
+
+// BalloonOut pins size bytes of free guest frames with the balloon
+// driver and hands them to the VMM, which reclaims their host backing —
+// the guest's side of a host-initiated balloon inflation (the
+// "tug-of-war" primitive: the host squeezes this guest without giving
+// anything back). The pinned frames stay allocated in guest physical
+// memory so the guest never touches them. Returns the pinned frames.
+func (k *Kernel) BalloonOut(size uint64, pick func(n uint64) uint64) ([]uint64, error) {
 	if k.backend == nil {
-		return addr.Range{}, ErrBackendMissing
+		return nil, ErrBackendMissing
 	}
 	size = addr.AlignUp(size, addr.PageSize4K)
 	need := size >> addr.PageShift4K
 	if k.Mem.FreeFrames() < need {
-		return addr.Range{}, fmt.Errorf("guestos: self-balloon needs %d free frames, have %d",
+		return nil, fmt.Errorf("guestos: balloon needs %d free frames, have %d",
 			need, k.Mem.FreeFrames())
 	}
-	// Step 1: the balloon driver asks the kernel for reclaimable pages
-	// and pins them. The kernel hands back whatever scattered frames it
-	// has — that is the point: they need not be contiguous.
+	// The balloon driver asks the kernel for reclaimable pages and pins
+	// them. The kernel hands back whatever scattered frames it has —
+	// that is the point: they need not be contiguous.
 	frames := make([]uint64, 0, need)
 	for uint64(len(frames)) < need {
 		f, err := k.Mem.AllocFrame()
 		if err != nil {
-			return addr.Range{}, fmt.Errorf("guestos: balloon pinning: %w", err)
+			return nil, fmt.Errorf("guestos: balloon pinning: %w", err)
 		}
 		frames = append(frames, f)
 	}
 	_ = pick // reserved for randomized pinning policies
-	// Step 2: pass the pinned pages to the VMM...
 	if err := k.backend.Balloon(frames); err != nil {
-		return addr.Range{}, fmt.Errorf("guestos: balloon to VMM: %w", err)
+		return nil, fmt.Errorf("guestos: balloon to VMM: %w", err)
 	}
 	k.ballooned = append(k.ballooned, frames...)
-	// ...which adds the same amount back as contiguous guest physical
-	// memory via hotplug.
+	return frames, nil
+}
+
+// HotplugGrow asks the VMM for size bytes of fresh contiguous guest
+// physical memory via hotplug and onlines it — the guest's side of a
+// host-initiated deflation/grant.
+func (k *Kernel) HotplugGrow(size uint64) (addr.Range, error) {
+	if k.backend == nil {
+		return addr.Range{}, ErrBackendMissing
+	}
+	size = addr.AlignUp(size, addr.PageSize4K)
 	r, err := k.backend.HotplugAdd(size)
 	if err != nil {
 		return addr.Range{}, fmt.Errorf("guestos: hotplug add: %w", err)

@@ -1,0 +1,37 @@
+package host
+
+import (
+	"testing"
+
+	"vdirect/internal/addr"
+	"vdirect/internal/workload"
+)
+
+// BenchmarkHostQuantum measures one consolidated-host cell end to end:
+// four guests × two tenants admitted on a tight host, replayed to
+// completion with policy churn at every barrier. This is the number
+// benchgate tracks for the host layer.
+func BenchmarkHostQuantum(b *testing.B) {
+	cfg := Config{
+		Guests:          4,
+		TenantsPerGuest: 2,
+		Workload:        "gups",
+		WL:              workload.Config{Seed: 1, MemoryMB: 8, Ops: 12000},
+		GuestHeadroom:   24 << 20,
+		BalloonFloor:    12 << 20,
+		Seed:            42,
+		SkipCrossCheck:  true,
+	}
+	gs := cfg.GuestSize()
+	cfg.HostMemory = addr.AlignUp(3*gs+gs/2+(16<<20), addr.PageSize4K)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := NewSim(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

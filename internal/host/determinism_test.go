@@ -1,0 +1,44 @@
+// Shard-count independence: a host cell's full Result — per-guest
+// statistics included — must be byte-identical at any Cfg.Shards.
+
+package host
+
+import (
+	"reflect"
+	"testing"
+)
+
+func runAtShards(t *testing.T, cfg Config, shards int) Result {
+	t.Helper()
+	cfg.Shards = shards
+	s, err := NewSim(cfg)
+	if err != nil {
+		t.Fatalf("shards %d: %v", shards, err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatalf("shards %d: %v", shards, err)
+	}
+	return res
+}
+
+func TestRunDeterministicAcrossShards(t *testing.T) {
+	cfg := tightConfig(4)
+	want := runAtShards(t, cfg, 1)
+	for _, shards := range []int{2, 4, 8} {
+		got := runAtShards(t, cfg, shards)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("result differs between 1 and %d shards:\n 1: %+v\n%2d: %+v",
+				shards, want, shards, got)
+		}
+	}
+}
+
+func TestRunDeterministicRepeat(t *testing.T) {
+	cfg := testConfig(2)
+	a := runAtShards(t, cfg, 2)
+	b := runAtShards(t, cfg, 2)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same config, same shards, different results:\n%+v\n%+v", a, b)
+	}
+}

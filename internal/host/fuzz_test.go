@@ -1,0 +1,97 @@
+// FuzzHostOps interleaves the host policy operations — balloon,
+// hotplug, retirement, content stamping, sharing, CoW breaks,
+// migration, plus mid-sequence guest admission — and checks, after
+// every op, the three independent sets of frame books against each
+// other (allocator owner stamps, VMM owner registry, nested-table page
+// counts). It is the host-scale analogue of the physmem owner fuzz:
+// the reference model here is the conjunction of per-layer books that
+// cannot drift if and only if every op's accounting is exact.
+
+package host
+
+import (
+	"testing"
+
+	"vdirect/internal/addr"
+	"vdirect/internal/workload"
+)
+
+// fuzzConfig is a deliberately tiny host so each fuzz case runs in
+// milliseconds: two small tenants per guest, tight memory, no
+// admission churn (the fuzzer drives all ops itself).
+func fuzzConfig() Config {
+	cfg := Config{
+		Guests:          2,
+		TenantsPerGuest: 2,
+		Workload:        "gups",
+		WL:              workload.Config{Seed: 1, MemoryMB: 2, Ops: 400},
+		GuestHeadroom:   8 << 20,
+		BalloonFloor:    4 << 20,
+		Seed:            1,
+		AdmitChurn:      -1,
+		RoundChurn:      -1,
+		SkipCrossCheck:  true,
+	}
+	return cfg
+}
+
+const fuzzMaxGuests = 4
+
+func FuzzHostOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7}, uint64(1))
+	f.Add([]byte{7, 7, 0, 0, 6, 6, 3, 4, 5, 2, 1}, uint64(42))
+	f.Add([]byte{3, 3, 3, 4, 5, 5, 5, 7, 6, 0, 2}, uint64(7))
+	f.Fuzz(func(t *testing.T, ops []byte, seed uint64) {
+		if len(ops) > 64 {
+			ops = ops[:64]
+		}
+		cfg := fuzzConfig()
+		cfg.Seed = seed
+		base := cfg.GuestSize()
+		// Tight enough that admissions and migrations hit OOM paths.
+		cfg.HostMemory = addr.AlignUp(base*5/2+(8<<20), addr.PageSize4K)
+		s, err := NewSim(cfg)
+		if err != nil {
+			t.Skip() // overcommitted beyond even the tug-of-war
+		}
+		check := func(op int) {
+			if err := s.CheckAccounting(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			if err := checkFrameBooks(s); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+		check(-1)
+		for i, b := range ops {
+			var err error
+			switch b % 8 {
+			case 0:
+				err = s.opBalloon()
+			case 1:
+				err = s.opHotplug()
+			case 2:
+				err = s.opRetire()
+			case 3:
+				s.opContent()
+			case 4:
+				err = s.opShare()
+			case 5:
+				err = s.opCoWBreak()
+			case 6:
+				err = s.opMigrate()
+			case 7:
+				if len(s.Guests) < fuzzMaxGuests {
+					// Admission may legitimately fail once the host is
+					// squeezed dry; the books must still balance.
+					_ = s.admit(len(s.Guests))
+				}
+			}
+			s.flushInvalidated()
+			if err != nil {
+				t.Fatalf("op %d (%d): %v", i, b%8, err)
+			}
+			check(i)
+		}
+	})
+}

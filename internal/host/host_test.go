@@ -1,0 +1,70 @@
+package host
+
+import (
+	"testing"
+
+	"vdirect/internal/workload"
+)
+
+// testConfig returns a small but non-trivial host cell: guests per the
+// density argument, two tenants each, on a host sized so the later
+// admissions contend (the interesting regime).
+func testConfig(density int) Config {
+	return Config{
+		Guests:          density,
+		TenantsPerGuest: 2,
+		Workload:        "gups",
+		WL:              workload.Config{Seed: 1, MemoryMB: 8, Ops: 12000},
+		GuestHeadroom:   24 << 20,
+		BalloonFloor:    12 << 20,
+		Seed:            42,
+	}
+}
+
+func TestSmokeSingleGuest(t *testing.T) {
+	cfg := testConfig(1)
+	s, err := NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Density != 1 || len(res.Guests) != 1 {
+		t.Fatalf("density = %d, guests = %d", res.Density, len(res.Guests))
+	}
+	g := res.Guests[0]
+	if !g.Direct {
+		t.Error("sole guest on an auto-sized host should admit Dual Direct")
+	}
+	if g.Accesses == 0 {
+		t.Error("no accesses replayed")
+	}
+	if g.OwnerFrames == 0 {
+		t.Error("no frames attributed to the guest")
+	}
+}
+
+func TestDensityFourGuests(t *testing.T) {
+	cfg := testConfig(4)
+	s, err := NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Guests) != 4 {
+		t.Fatalf("admitted %d guests, want 4", len(res.Guests))
+	}
+	for _, g := range res.Guests {
+		if g.Accesses == 0 {
+			t.Errorf("guest %d replayed no accesses", g.Guest)
+		}
+	}
+	if res.DirectGuests == 0 {
+		t.Error("no guest admitted Dual Direct")
+	}
+}

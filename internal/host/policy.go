@@ -1,0 +1,208 @@
+// The host policy engine: the churn the density study runs between
+// admissions and at every replay barrier. Each op draws from the one
+// policy RNG and acts on shared host state, so ops only ever run on
+// the serial path (admission loop or RunSharded barrier). Ops that are
+// inapplicable in the current state (nothing to balloon, no shared
+// pages to break) still consume their draws and become no-ops, keeping
+// the draw sequence aligned across configurations that differ only in
+// what the ops find.
+
+package host
+
+import (
+	"errors"
+	"fmt"
+
+	"vdirect/internal/addr"
+	"vdirect/internal/vmm"
+)
+
+// hostSlackFrames is how much free host memory growth-type ops
+// (hotplug, migration) always leave untouched, so churn never starves
+// replay-time allocations (nested-table growth, CoW breaks).
+const hostSlackFrames = (16 << 20) >> addr.PageShift4K
+
+// churn runs n policy ops.
+func (s *Sim) churn(n int) error {
+	for i := 0; i < n; i++ {
+		if err := s.policyOp(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// policyOp draws and runs one op. The weights skew toward the ops that
+// perturb host layout (balloon, retire) — the fragmentation story —
+// with sharing and migration as lower-frequency background services.
+func (s *Sim) policyOp() error {
+	if len(s.Guests) == 0 {
+		return nil
+	}
+	var err error
+	switch s.rng.Uint64n(10) {
+	case 0, 1:
+		err = s.opBalloon()
+	case 2:
+		err = s.opHotplug()
+	case 3, 4:
+		err = s.opRetire()
+	case 5, 6:
+		s.opContent()
+	case 7:
+		err = s.opShare()
+	case 8:
+		err = s.opCoWBreak()
+	case 9:
+		err = s.opMigrate()
+	}
+	s.flushInvalidated()
+	return err
+}
+
+// randGuest draws one admitted guest.
+func (s *Sim) randGuest() *Guest {
+	return s.Guests[s.rng.Uint64n(uint64(len(s.Guests)))]
+}
+
+// opBalloon squeezes a random guest by a small random amount, down to
+// its balloon floor. For a segment guest every reclaimed page enters
+// the escape filter — this is the op that makes density cost escapes.
+func (s *Sim) opBalloon() error {
+	g := s.randGuest()
+	take := 1 + s.rng.Uint64n(256) // frames
+	floor := s.Cfg.BalloonFloor >> addr.PageShift4K
+	free := g.Kernel.Mem.FreeFrames()
+	if free <= floor {
+		return nil
+	}
+	if max := free - floor; take > max {
+		take = max
+	}
+	if _, err := g.Kernel.BalloonOut(take<<addr.PageShift4K, nil); err != nil {
+		return fmt.Errorf("host: balloon op on %s: %w", g.Name, err)
+	}
+	return nil
+}
+
+// opHotplug grants a random guest a small amount of fresh memory,
+// backed by scattered host frames (so a segment guest's new range
+// stays outside its segment).
+func (s *Sim) opHotplug() error {
+	g := s.randGuest()
+	size := (1 + s.rng.Uint64n(8)) << 20 // 1–8 MB
+	need := (size >> addr.PageShift4K) + hostSlackFrames
+	if s.Host.Mem.FreeFrames() < need {
+		return nil // host too tight to grant memory
+	}
+	prev := s.Host.Mem.SetAllocOwner(g.Owner())
+	defer s.Host.Mem.SetAllocOwner(prev)
+	if _, err := g.Kernel.HotplugGrow(size); err != nil {
+		return fmt.Errorf("host: hotplug op on %s: %w", g.Name, err)
+	}
+	return nil
+}
+
+// opRetire hard-faults one host page backing a random guest page: the
+// VMM repoints the mapping at a healthy frame, and — for a segment
+// guest — the page escapes through the filter (§V). The dead frame
+// stays a permanent hole in the host layout.
+func (s *Sim) opRetire() error {
+	g := s.randGuest()
+	gpa := addr.PageBase(s.rng.Uint64n(g.VM.GuestMem.Size()), addr.Page4K)
+	prev := s.Host.Mem.SetAllocOwner(g.Owner())
+	defer s.Host.Mem.SetAllocOwner(prev)
+	if _, err := g.VM.RetirePage(gpa); err != nil {
+		// Ballooned/unplugged (no backing), shared, or host-OOM pages
+		// cannot retire; the op is a deterministic no-op.
+		return nil
+	}
+	g.Retires++
+	s.escapeIfCovered(g, gpa)
+	g.invalidate = true
+	return nil
+}
+
+// opContent stamps duplicate-prone content hashes onto a few random
+// pages of a random guest, feeding the sharing scanner. The hash space
+// is tiny on purpose: cross-guest duplicates are the point.
+func (s *Sim) opContent() {
+	g := s.randGuest()
+	n := 1 + s.rng.Uint64n(8)
+	for i := uint64(0); i < n; i++ {
+		gpa := addr.PageBase(s.rng.Uint64n(g.VM.GuestMem.Size()), addr.Page4K)
+		g.VM.SetPageContent(gpa, 1+s.rng.Uint64n(63))
+	}
+}
+
+// opShare runs one content-based sharing pass over every VM. Segment-
+// covered ranges are skipped by the scanner itself (§IX.E: "VMM
+// segments preclude page sharing").
+func (s *Sim) opShare() error {
+	vms := make([]*vmm.VM, len(s.Guests))
+	for i, g := range s.Guests {
+		vms[i] = g.VM
+	}
+	if _, err := s.Host.ScanAndShare(vms); err != nil {
+		return fmt.Errorf("host: sharing pass: %w", err)
+	}
+	return nil
+}
+
+// opCoWBreak models a guest write to a shared page: the VMM gives the
+// writer a private copy.
+func (s *Sim) opCoWBreak() error {
+	// Deterministic candidate pick: first guest (admission order) with
+	// shared pages, then a random page of its list.
+	for _, g := range s.Guests {
+		if len(g.sharedGPAs) == 0 {
+			continue
+		}
+		i := s.rng.Uint64n(uint64(len(g.sharedGPAs)))
+		gpa := g.sharedGPAs[i]
+		g.sharedGPAs = append(g.sharedGPAs[:i], g.sharedGPAs[i+1:]...)
+		prev := s.Host.Mem.SetAllocOwner(g.Owner())
+		defer s.Host.Mem.SetAllocOwner(prev)
+		if _, err := g.VM.WriteFault(gpa); err != nil {
+			if errors.Is(err, vmm.ErrNoBacking) {
+				return nil // page ballooned/unplugged since it was shared
+			}
+			return fmt.Errorf("host: CoW break on %s: %w", g.Name, err)
+		}
+		return nil
+	}
+	return nil
+}
+
+// opMigrate live-migrates a random paging-mode guest within the host:
+// pre-copy rebuilds its backing from the current free list, then the
+// old frames free — the op that reshuffles host layout wholesale.
+// Segment guests are pinned (Table II) and guests with shared pages
+// must break sharing first; both make the op a no-op.
+func (s *Sim) opMigrate() error {
+	g := s.randGuest()
+	if g.Direct {
+		return nil
+	}
+	need := g.VM.BackedFrames() + nptOverheadFrames(s.guestSize) + hostSlackFrames
+	if s.Host.Mem.FreeFrames() < need {
+		return nil // not enough headroom for the transient double footprint
+	}
+	prev := s.Host.Mem.SetAllocOwner(g.Owner())
+	defer s.Host.Mem.SetAllocOwner(prev)
+	newVM, _, err := s.Host.Migrate(g.VM, s.Host, nil, 64, 4)
+	if err != nil {
+		if errors.Is(err, vmm.ErrSharedBacking) {
+			return nil
+		}
+		return fmt.Errorf("host: migrating %s: %w", g.Name, err)
+	}
+	delete(s.byVM, g.VM)
+	s.byVM[newVM] = g
+	g.VM = newVM
+	g.Kernel.SetBackend(newVM)
+	g.MMU.SetNestedPageTable(newVM.NPT)
+	g.Migrations++
+	g.invalidate = true
+	return nil
+}

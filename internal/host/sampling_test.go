@@ -1,0 +1,91 @@
+// Walk sampling over a consolidated host: the per-guest dimension of
+// the walkprof profile. Each guest gets a private stride sampler keyed
+// (cell, guest index), driven only by that guest's miss stream, so the
+// encoded sample file is byte-identical at any shard count — and its
+// tenant axis attributes §VII miss classes guest by guest.
+
+package host
+
+import (
+	"bytes"
+	"testing"
+
+	"vdirect/internal/telemetry/walkprof"
+)
+
+// sampledHostBytes runs one tight 3-guest cell with 1-in-16 sampling
+// at the given shard count and returns the encoded sample file.
+func sampledHostBytes(t *testing.T, shards int) []byte {
+	t.Helper()
+	p := walkprof.Enable(16)
+	defer p.Stop()
+	cfg := tightConfig(3)
+	cfg.Shards = shards
+	s, err := NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	d := p.Snapshot()
+	if d.NumSamples() == 0 {
+		t.Fatal("sampling enabled but no samples collected")
+	}
+	var buf bytes.Buffer
+	if err := walkprof.Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestHostSamplingPerGuest checks the guest dimension: one sampler
+// stream per admitted guest, all labeled with the host cell's name and
+// the guest index as the tenant, and the §VII class attribution groups
+// rows per guest.
+func TestHostSamplingPerGuest(t *testing.T) {
+	p := walkprof.Enable(16)
+	defer p.Stop()
+	cfg := tightConfig(3)
+	s, err := NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	d := p.Snapshot()
+	guests := map[int]bool{}
+	for _, c := range d.Cells {
+		if c.Cell != s.Cfg.Name {
+			t.Errorf("sample cell %q, want %q", c.Cell, s.Cfg.Name)
+		}
+		guests[c.Tenant] = true
+	}
+	for i := range s.Guests {
+		if !guests[i] {
+			t.Errorf("no sample stream for guest %d", i)
+		}
+	}
+	byGuest := map[int]int{}
+	for _, a := range walkprof.ClassAttribution(d) {
+		byGuest[a.Tenant]++
+	}
+	for i, g := range s.Guests {
+		if byGuest[i] == 0 && g.MMU.Stats().L1Misses > 0 {
+			t.Errorf("guest %d has misses but no class attribution rows", i)
+		}
+	}
+}
+
+// TestHostSamplingDeterministicAcrossShards is the sample-file half of
+// the host determinism contract: byte-identical dumps at 1 and 4
+// shards.
+func TestHostSamplingDeterministicAcrossShards(t *testing.T) {
+	serial := sampledHostBytes(t, 1)
+	sharded := sampledHostBytes(t, 4)
+	if !bytes.Equal(serial, sharded) {
+		t.Fatalf("sample files differ between 1 shard (%d bytes) and 4 shards (%d bytes)",
+			len(serial), len(sharded))
+	}
+}

@@ -63,7 +63,24 @@ type Memory struct {
 	// Moves accumulates relocations performed by Compact so the owner
 	// (VMM or guest OS) can repair its mappings.
 	moves []Move
+
+	// Owner accounting (optional, see TrackOwners): every allocated
+	// frame carries the owner tag that was current when it was
+	// allocated, and ownerCount holds the per-owner allocated-frame
+	// totals. The consolidated-host driver uses it to attribute every
+	// host frame to the guest whose operation took it.
+	owners     []OwnerID
+	ownerCount map[OwnerID]uint64
+	curOwner   OwnerID
 }
+
+// OwnerID tags the owner of an allocated frame when owner tracking is
+// enabled. OwnerNone (0) is the anonymous/host owner.
+type OwnerID uint16
+
+// OwnerNone is the default owner tag: frames allocated outside any
+// owner scope (or before TrackOwners) belong to it.
+const OwnerNone OwnerID = 0
 
 // Move records one frame relocation performed by compaction.
 type Move struct{ Old, New uint64 }
@@ -129,6 +146,143 @@ func (m *Memory) FreeFrames() uint64 {
 	return n
 }
 
+// TrackOwners enables per-frame owner accounting. Frames already
+// allocated are attributed to OwnerNone. Idempotent.
+func (m *Memory) TrackOwners() {
+	if m.owners != nil {
+		return
+	}
+	m.owners = make([]OwnerID, m.frames)
+	m.ownerCount = map[OwnerID]uint64{}
+	if m.numAlloc > 0 {
+		m.ownerCount[OwnerNone] = m.numAlloc
+	}
+}
+
+// TrackingOwners reports whether owner accounting is enabled.
+func (m *Memory) TrackingOwners() bool { return m.owners != nil }
+
+// SetAllocOwner sets the owner tag stamped onto subsequently allocated
+// frames and returns the previous tag, so callers can scope an owner
+// around an operation:
+//
+//	prev := mem.SetAllocOwner(id)
+//	defer mem.SetAllocOwner(prev)
+func (m *Memory) SetAllocOwner(o OwnerID) OwnerID {
+	prev := m.curOwner
+	m.curOwner = o
+	return prev
+}
+
+// AllocOwner returns the owner tag currently being stamped.
+func (m *Memory) AllocOwner() OwnerID { return m.curOwner }
+
+// FrameOwner returns the owner of an allocated frame. The second
+// result is false when tracking is off or the frame is not allocated.
+func (m *Memory) FrameOwner(f uint64) (OwnerID, bool) {
+	if m.owners == nil || !m.IsAllocated(f) {
+		return OwnerNone, false
+	}
+	return m.owners[f], true
+}
+
+// OwnerFrames returns the number of allocated frames stamped with the
+// owner (0 when tracking is off).
+func (m *Memory) OwnerFrames(o OwnerID) uint64 {
+	if m.ownerCount == nil {
+		return 0
+	}
+	return m.ownerCount[o]
+}
+
+// stamp records ownership of newly allocated frame f.
+func (m *Memory) stamp(f uint64) {
+	if m.owners == nil {
+		return
+	}
+	m.owners[f] = m.curOwner
+	m.ownerCount[m.curOwner]++
+}
+
+// stampRange records ownership of the newly allocated frames
+// [start, start+n).
+func (m *Memory) stampRange(start, n uint64) {
+	if m.owners == nil {
+		return
+	}
+	for f := start; f < start+n; f++ {
+		m.owners[f] = m.curOwner
+	}
+	m.ownerCount[m.curOwner] += n
+}
+
+// unstamp clears ownership of frame f as it is freed.
+func (m *Memory) unstamp(f uint64) {
+	if m.owners == nil {
+		return
+	}
+	o := m.owners[f]
+	m.owners[f] = OwnerNone
+	if c := m.ownerCount[o]; c <= 1 {
+		delete(m.ownerCount, o)
+	} else {
+		m.ownerCount[o] = c - 1
+	}
+}
+
+// CheckOwnerAccounting verifies the owner books against the frame
+// bitmaps: the per-owner counts must sum exactly to the allocated-frame
+// total, and a full per-frame rescan must reproduce each owner's count.
+// It returns nil when tracking is off (nothing to check).
+func (m *Memory) CheckOwnerAccounting() error {
+	if m.owners == nil {
+		return nil
+	}
+	var sum uint64
+	for _, c := range m.ownerCount {
+		sum += c
+	}
+	if sum != m.numAlloc {
+		return fmt.Errorf("physmem %s: owner counts sum to %d, %d frames allocated",
+			m.name, sum, m.numAlloc)
+	}
+	rescan := map[OwnerID]uint64{}
+	for f := uint64(0); f < m.frames; f++ {
+		if m.bit(m.alloc, f) {
+			rescan[m.owners[f]]++
+		}
+	}
+	if len(rescan) != len(m.ownerCount) {
+		return fmt.Errorf("physmem %s: rescan found %d owners, books say %d",
+			m.name, len(rescan), len(m.ownerCount))
+	}
+	for o, c := range rescan {
+		if m.ownerCount[o] != c {
+			return fmt.Errorf("physmem %s: owner %d has %d stamped frames, books say %d",
+				m.name, o, c, m.ownerCount[o])
+		}
+	}
+	return nil
+}
+
+// Owners returns the owner tags with at least one allocated frame, in
+// ascending order (deterministic regardless of map state).
+func (m *Memory) Owners() []OwnerID {
+	if m.ownerCount == nil {
+		return nil
+	}
+	out := make([]OwnerID, 0, len(m.ownerCount))
+	for o := range m.ownerCount {
+		out = append(out, o)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort: owner sets are tiny
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
 func (m *Memory) setBit(bm []uint64, f uint64)   { bm[f/64] |= 1 << (f % 64) }
 func (m *Memory) clrBit(bm []uint64, f uint64)   { bm[f/64] &^= 1 << (f % 64) }
 func (m *Memory) bit(bm []uint64, f uint64) bool { return bm[f/64]&(1<<(f%64)) != 0 }
@@ -170,6 +324,7 @@ func (m *Memory) AllocFrame() (uint64, error) {
 		}
 		m.setBit(m.alloc, f)
 		m.numAlloc++
+		m.stamp(f)
 		return f, nil
 	}
 	return 0, ErrOutOfMemory
@@ -198,6 +353,7 @@ func (m *Memory) AllocFrameAt(f uint64) error {
 	}
 	m.setBit(m.alloc, f)
 	m.numAlloc++
+	m.stamp(f)
 	return nil
 }
 
@@ -209,6 +365,7 @@ func (m *Memory) FreeFrame(f uint64) error {
 	if !m.bit(m.alloc, f) {
 		return ErrNotAllocated
 	}
+	m.unstamp(f)
 	m.clrBit(m.alloc, f)
 	m.numAlloc--
 	m.lowerHint(f)
@@ -242,6 +399,7 @@ func (m *Memory) AllocRun(max uint64) (uint64, uint64, error) {
 		run := m.freeRunLen(start, max)
 		m.markAllocated(start, run)
 		m.numAlloc += run
+		m.stampRange(start, run)
 		return start, run, nil
 	}
 	return 0, 0, ErrNoContiguous
@@ -290,6 +448,7 @@ func (m *Memory) AllocContiguous(n, alignFrames uint64) (uint64, error) {
 		if run >= n {
 			m.markAllocated(start, n)
 			m.numAlloc += n
+			m.stampRange(start, n)
 			return start, nil
 		}
 		// Skip past the blocking frame.
@@ -383,6 +542,7 @@ func (m *Memory) Reserve(r addr.Range) error {
 		m.setBit(m.alloc, f)
 	}
 	m.numAlloc += n
+	m.stampRange(first, n)
 	return nil
 }
 
@@ -476,6 +636,9 @@ func (m *Memory) Grow(size uint64) (addr.Range, error) {
 		m.offline = append(m.offline, 0)
 		m.bad = append(m.bad, 0)
 	}
+	if m.owners != nil {
+		m.owners = append(m.owners, make([]OwnerID, n)...)
+	}
 	first := r.Start >> frameShift
 	for f := first; f < first+n; f++ {
 		m.setBit(m.offline, f)
@@ -508,6 +671,7 @@ func (m *Memory) FragmentRandomly(frac float64, next func(n uint64) uint64) []ui
 		free = free[:len(free)-1]
 		m.setBit(m.alloc, f)
 		m.numAlloc++
+		m.stamp(f)
 		taken = append(taken, f)
 	}
 	return taken
@@ -539,9 +703,90 @@ func (m *Memory) Compact() []Move {
 		// Move frame src -> dst.
 		m.clrBit(m.alloc, src)
 		m.setBit(m.alloc, dst)
+		if m.owners != nil { // ownership travels with the data
+			m.owners[dst] = m.owners[src]
+			m.owners[src] = OwnerNone
+		}
 		m.moves = append(m.moves, Move{Old: src, New: dst})
 	}
 	return m.moves
+}
+
+// FragReport summarizes free-space fragmentation at a point in time.
+type FragReport struct {
+	FreeFrames  uint64  // frames available for allocation
+	FreeRuns    uint64  // maximal runs of available frames
+	LargestRun  uint64  // length of the longest run, in frames
+	FragIndex   float64 // 1 - LargestRun/FreeFrames (0 = one run, ->1 = shattered)
+	MeanRunLen  float64 // FreeFrames / FreeRuns
+	TotalFrames uint64  // address-space span, gap included
+}
+
+// FragStats scans the bitmaps and reports free-space fragmentation.
+// This is the host fragmentation curve's raw material: as consolidation
+// density rises, FreeFrames shrinks and FragIndex climbs toward 1,
+// and direct-segment creation fails once LargestRun drops below the
+// segment size.
+func (m *Memory) FragStats() FragReport {
+	var r FragReport
+	r.TotalFrames = m.frames
+	var curLen uint64
+	for f := uint64(0); f < m.frames; f++ {
+		if m.available(f) {
+			curLen++
+			continue
+		}
+		if curLen > 0 {
+			r.FreeRuns++
+			r.FreeFrames += curLen
+			if curLen > r.LargestRun {
+				r.LargestRun = curLen
+			}
+			curLen = 0
+		}
+	}
+	if curLen > 0 {
+		r.FreeRuns++
+		r.FreeFrames += curLen
+		if curLen > r.LargestRun {
+			r.LargestRun = curLen
+		}
+	}
+	if r.FreeFrames > 0 {
+		r.FragIndex = 1 - float64(r.LargestRun)/float64(r.FreeFrames)
+		r.MeanRunLen = float64(r.FreeFrames) / float64(r.FreeRuns)
+	}
+	return r
+}
+
+// ProbeContiguous counts how many additional n-frame aligned contiguous
+// allocations would currently succeed, up to max probes (0 = unlimited).
+// It is non-perturbing: the probes are trial allocations that are all
+// freed before returning, and because allocation is deterministic
+// lowest-fit, the bitmap and the hint invariant ("no available frame
+// below word hint") are exactly restored. The host study uses it to
+// measure how many more direct segments the host could still create.
+func (m *Memory) ProbeContiguous(n, alignFrames, max uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	var starts []uint64
+	for max == 0 || uint64(len(starts)) < max {
+		start, err := m.AllocContiguous(n, alignFrames)
+		if err != nil {
+			break
+		}
+		starts = append(starts, start)
+	}
+	for _, start := range starts {
+		for f := start; f < start+n; f++ {
+			m.unstamp(f)
+			m.clrBit(m.alloc, f)
+		}
+		m.numAlloc -= n
+		m.lowerHint(start)
+	}
+	return uint64(len(starts))
 }
 
 // FrameToAddr converts a frame number to its byte address.

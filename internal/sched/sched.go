@@ -132,6 +132,83 @@ func Run[T any](cfg Config, n int, fn func(i int) (T, error)) ([]T, error) {
 	return results, nil
 }
 
+// RunSharded advances n peers in quantum lockstep across shard
+// goroutines: each round, shard s calls step(i) once for every live
+// peer i with i%shards == s, shards running concurrently; when every
+// shard finishes the round, barrier(round) (if non-nil) runs serially
+// on the coordinator. The loop continues until every peer has reported
+// done or an error occurs.
+//
+// Determinism contract: a peer is stepped by exactly one goroutine per
+// round and rounds are separated by a full join, so peer-private state
+// (including caller-side per-peer accumulators indexed by peer) never
+// races and results are identical at any shard count. On error the
+// lowest-numbered failing peer of the round wins — the same error a
+// serial loop stepping peers in order would stop at. The barrier is the
+// serial seam: host-global mutations (policy churn, shared-resource
+// ops) belong there, never in step.
+func RunSharded(shards, n int, step func(peer int) (done bool, err error), barrier func(round int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if shards <= 0 {
+		shards = 1
+	}
+	if shards > n {
+		shards = n
+	}
+	done := make([]bool, n)
+	remaining := n
+	for round := 0; remaining > 0; round++ {
+		var (
+			wg       sync.WaitGroup
+			errMu    sync.Mutex
+			errIdx   = n
+			firstErr error
+		)
+		wg.Add(shards)
+		for s := 0; s < shards; s++ {
+			go func(s int) {
+				defer wg.Done()
+				for i := s; i < n; i += shards {
+					if done[i] {
+						continue
+					}
+					d, err := step(i)
+					if err != nil {
+						errMu.Lock()
+						if i < errIdx {
+							errIdx, firstErr = i, err
+						}
+						errMu.Unlock()
+						done[i] = true
+						continue
+					}
+					if d {
+						done[i] = true
+					}
+				}
+			}(s)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return firstErr
+		}
+		remaining = 0
+		for _, d := range done {
+			if !d {
+				remaining++
+			}
+		}
+		if barrier != nil {
+			if err := barrier(round); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // Tasks runs the given functions concurrently — one goroutine each —
 // and returns the error of the lowest-indexed task that failed. Tasks
 // are coarse units (whole report sections) and are deliberately not

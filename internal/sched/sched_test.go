@@ -158,3 +158,74 @@ func TestRunRecordsCellSpans(t *testing.T) {
 		t.Errorf("manifest has %d cell timings, want 6", got)
 	}
 }
+
+func TestRunShardedDeterministicAcrossShards(t *testing.T) {
+	// Peers of different lengths: totals and per-peer step counts must
+	// be identical at any shard count.
+	run := func(shards int) ([]int, int) {
+		const n = 7
+		steps := make([]int, n)
+		rounds := 0
+		err := RunSharded(shards, n, func(i int) (bool, error) {
+			steps[i]++
+			return steps[i] > i, nil // peer i needs i+1 rounds
+		}, func(round int) error {
+			rounds++
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return steps, rounds
+	}
+	ref, refRounds := run(1)
+	for _, shards := range []int{2, 4, 16} {
+		got, rounds := run(shards)
+		if rounds != refRounds {
+			t.Fatalf("shards=%d: %d rounds, want %d", shards, rounds, refRounds)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("shards=%d: peer %d stepped %d times, want %d", shards, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestRunShardedLowestPeerErrorWins(t *testing.T) {
+	errs := []error{nil, errors.New("peer1"), nil, errors.New("peer3")}
+	for _, shards := range []int{1, 2, 4} {
+		err := RunSharded(shards, 4, func(i int) (bool, error) {
+			return true, errs[i]
+		}, nil)
+		if err != errs[1] {
+			t.Fatalf("shards=%d: err = %v, want lowest-peer error %v", shards, err, errs[1])
+		}
+	}
+}
+
+func TestRunShardedBarrierError(t *testing.T) {
+	wantErr := errors.New("barrier")
+	var stepped atomic.Int64
+	err := RunSharded(2, 4, func(i int) (bool, error) {
+		stepped.Add(1)
+		return false, nil
+	}, func(round int) error {
+		return wantErr
+	})
+	if err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	if got := stepped.Load(); got != 4 {
+		t.Fatalf("stepped %d peers before barrier error, want 4", got)
+	}
+}
+
+func TestRunShardedEmpty(t *testing.T) {
+	if err := RunSharded(4, 0, func(int) (bool, error) {
+		t.Fatal("step called with n=0")
+		return true, nil
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

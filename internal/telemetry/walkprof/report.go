@@ -372,6 +372,70 @@ func AttributionTables(d Dump) (scheme, cell *stats.Table) {
 	return scheme, cell
 }
 
+// ClassCell is one cell/tenant's sampled cost under one §VII miss
+// class. For whole-host consolidation cells the tenant index is the
+// guest index, so this is the per-guest miss-class attribution: which
+// guests are paying for walks, which resolve in segments, and which
+// escape-forced 2D walks the host's services induced.
+type ClassCell struct {
+	Cell    string
+	Tenant  int
+	Class   MissClass
+	Samples uint64
+	Refs    uint64
+	Cycles  uint64
+}
+
+// ClassAttribution aggregates the dump by cell/tenant × miss class,
+// sorted by cell, tenant, class.
+func ClassAttribution(d Dump) []ClassCell {
+	type key struct {
+		cell   string
+		tenant int
+		class  MissClass
+	}
+	agg := make(map[key]*ClassCell)
+	for _, c := range d.Cells {
+		for _, s := range c.Samples {
+			k := key{c.Cell, c.Tenant, s.Class}
+			a := agg[k]
+			if a == nil {
+				a = &ClassCell{Cell: k.cell, Tenant: k.tenant, Class: k.class}
+				agg[k] = a
+			}
+			a.Samples++
+			a.Refs += s.Refs
+			a.Cycles += s.Cycles
+		}
+	}
+	out := make([]ClassCell, 0, len(agg))
+	for _, a := range agg {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cell != out[j].Cell {
+			return out[i].Cell < out[j].Cell
+		}
+		if out[i].Tenant != out[j].Tenant {
+			return out[i].Tenant < out[j].Tenant
+		}
+		return out[i].Class < out[j].Class
+	})
+	return out
+}
+
+// ClassTable renders the per-cell/tenant miss-class attribution with
+// period-scaled estimates.
+func ClassTable(d Dump) *stats.Table {
+	t := stats.NewTable("walkprof — per-cell / per-tenant miss-class attribution (§VII taxonomy)",
+		"cell", "tenant", "class", "samples", "est refs", "est cycles")
+	for _, a := range ClassAttribution(d) {
+		t.AddRow(a.Cell, fmt.Sprint(a.Tenant), a.Class.String(),
+			fmt.Sprint(a.Samples), fmt.Sprint(a.Refs*d.Period), fmt.Sprint(a.Cycles*d.Period))
+	}
+	return t
+}
+
 // Collapsed renders the dump as collapsed-stack ("folded") lines —
 // `cell;scheme;class;region value` — consumable by standard flamegraph
 // tooling (flamegraph.pl, inferno, speedscope). The weight is the
@@ -422,8 +486,8 @@ func Collapsed(d Dump) string {
 }
 
 // Report renders the full walkprof analysis: summary line, per-scheme
-// and per-cell attribution, exact percentiles, top-N pages, and the
-// heatmap. Both cmd/walkprof and paperbench's walkprof section print
+// and per-cell attribution, the per-cell §VII miss-class breakdown,
+// exact percentiles, top-N pages, and the heatmap. Both cmd/walkprof and paperbench's walkprof section print
 // exactly this.
 func Report(d Dump, topN int) string {
 	var b strings.Builder
@@ -433,6 +497,8 @@ func Report(d Dump, topN int) string {
 	b.WriteString(schemeT.Render())
 	b.WriteString("\n")
 	b.WriteString(cellT.Render())
+	b.WriteString("\n")
+	b.WriteString(ClassTable(d).Render())
 	b.WriteString("\n")
 	b.WriteString(QuantileTable(d).Render())
 	b.WriteString("\n")

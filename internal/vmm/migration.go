@@ -19,6 +19,13 @@ import (
 // VMM segment maps the guest (Table II: VMM swapping/migration limited).
 var ErrSegmentPinned = errors.New("vmm: VMM segment active; disable it before live migration")
 
+// ErrSharedBacking is returned when live migration is attempted while
+// the VM participates in content-based page sharing: releasing the
+// source backing would free copy-on-write frames other VMs still map.
+// Real VMMs break sharing before migrating; this model requires the
+// caller to do the same.
+var ErrSharedBacking = errors.New("vmm: VM has copy-on-write shared pages; break sharing before live migration")
+
 // MigrationReport summarizes one live migration.
 type MigrationReport struct {
 	// PassPages[i] is the number of pages copied in pre-copy pass i.
@@ -68,6 +75,9 @@ func (h *Host) Migrate(vm *VM, dst *Host, dirtied func(pass int) []uint64,
 	if vm.cfg.NestedPageSize != addr.Page4K {
 		return nil, rep, ErrBadNestedSize
 	}
+	if len(vm.sharedFrames) > 0 {
+		return nil, rep, ErrSharedBacking
+	}
 	if maxPasses <= 0 {
 		maxPasses = 8
 	}
@@ -91,6 +101,12 @@ func (h *Host) Migrate(vm *VM, dst *Host, dirtied func(pass int) []uint64,
 	}
 	newVM.NPT = npt
 	newVM.buildSlots()
+
+	// abort releases everything the half-built destination VM holds —
+	// copied frames, owner registrations, nested-table pages — so a
+	// failed migration (destination OOM mid-copy is routine on a dense
+	// host) leaks nothing and leaves both hosts' accounting exact.
+	abort := func() { newVM.releaseAll() }
 
 	copyPage := func(gpa uint64) error {
 		if _, _, ok := vm.NPT.Translate(gpa); !ok {
@@ -123,6 +139,7 @@ func (h *Host) Migrate(vm *VM, dst *Host, dirtied func(pass int) []uint64,
 	for pass := 0; ; pass++ {
 		for _, gpa := range work {
 			if err := copyPage(gpa); err != nil {
+				abort()
 				return nil, rep, err
 			}
 		}
@@ -136,6 +153,7 @@ func (h *Host) Migrate(vm *VM, dst *Host, dirtied func(pass int) []uint64,
 			// transfers.
 			for _, gpa := range next {
 				if err := copyPage(gpa); err != nil {
+					abort()
 					return nil, rep, err
 				}
 			}
@@ -153,11 +171,21 @@ func (h *Host) Migrate(vm *VM, dst *Host, dirtied func(pass int) []uint64,
 		}
 		vm.unregisterBacking(hpa, addr.PageSize4K)
 		if err := h.Mem.FreeFrame(physmem.AddrToFrame(hpa)); err != nil {
+			abort()
 			return nil, rep, err
 		}
 	}
+	// The source nested table's pages would otherwise leak in the source
+	// host's memory: the VM object is dropped but its table pages stay
+	// allocated.
+	if err := vm.NPT.Destroy(); err != nil {
+		return nil, rep, err
+	}
 	dst.vms = append(dst.vms, newVM)
 	h.removeVM(vm)
+	if dst.cb.Migrated != nil {
+		dst.cb.Migrated(newVM, rep)
+	}
 	return newVM, rep, nil
 }
 

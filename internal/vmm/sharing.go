@@ -7,6 +7,7 @@ package vmm
 
 import (
 	"fmt"
+	"sort"
 
 	"vdirect/internal/addr"
 	"vdirect/internal/physmem"
@@ -74,7 +75,16 @@ func (h *Host) ScanAndShare(vms []*VM) (SharingReport, error) {
 			return true
 		})
 	}
-	for _, locs := range byHash {
+	// Process hashes in sorted order so the sequence of frees and
+	// callbacks is deterministic (the end state already is; map order
+	// would leak into callback ordering and free-list history).
+	hashes := make([]uint64, 0, len(byHash))
+	for h := range byHash {
+		hashes = append(hashes, h)
+	}
+	sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
+	for _, hash := range hashes {
+		locs := byHash[hash]
 		if len(locs) < 2 {
 			continue
 		}
@@ -104,6 +114,9 @@ func (h *Host) ScanAndShare(vms []*VM) (SharingReport, error) {
 			l.vm.contig = false
 			rep.SavedFrames++
 			rep.SharedPages++
+			if h.cb.Shared != nil {
+				h.cb.Shared(l.vm, l.gpa)
+			}
 		}
 	}
 	return rep, nil
@@ -132,6 +145,9 @@ func (vm *VM) WriteFault(gpa uint64) (bool, error) {
 	delete(vm.sharedFrames, physmem.AddrToFrame(hpa))
 	vm.registerBacking(gpa, newHPA, addr.PageSize4K)
 	vm.cowBreaks++
+	if vm.host.cb.CoWBroken != nil {
+		vm.host.cb.CoWBroken(vm, gpa)
+	}
 	return true, nil
 }
 

@@ -31,7 +31,38 @@ type Host struct {
 	// compaction can repair nested mappings. Indexed by frame number; a
 	// nil vm means unowned (free, page-table page, or VMM-internal).
 	owners []backingRef
+	cb     Callbacks
 }
+
+// Callbacks notifies an embedding host layer (internal/host) of VMM
+// memory operations that change which host frames back which guest
+// pages, so it can keep MMU caches, escape filters, and per-guest
+// accounting coherent. All fields are optional; callbacks run
+// synchronously on the operation's goroutine, after the VMM's own
+// bookkeeping for the page is complete.
+type Callbacks struct {
+	// Ballooned fires for each guest physical page whose host backing
+	// was released by Balloon.
+	Ballooned func(vm *VM, gpa uint64)
+	// Hotplugged fires after HotplugAdd successfully backs a new guest
+	// physical range.
+	Hotplugged func(vm *VM, r addr.Range)
+	// Unplugged fires for each guest physical page whose backing
+	// HotplugRemove released.
+	Unplugged func(vm *VM, gpa uint64)
+	// Shared fires for each guest page remapped onto a deduplicated
+	// frame by ScanAndShare (the duplicate whose private frame was
+	// freed, not the canonical copy).
+	Shared func(vm *VM, gpa uint64)
+	// CoWBroken fires when WriteFault gives a VM a private copy.
+	CoWBroken func(vm *VM, gpa uint64)
+	// Migrated fires once a live migration completes, with the
+	// registered destination VM.
+	Migrated func(vm *VM, rep MigrationReport)
+}
+
+// SetCallbacks installs the host-layer callback seam.
+func (h *Host) SetCallbacks(cb Callbacks) { h.cb = cb }
 
 type backingRef struct {
 	vm  *VM
@@ -49,6 +80,17 @@ func NewHost(size uint64) *Host {
 
 // VMs returns the host's virtual machines.
 func (h *Host) VMs() []*VM { return h.vms }
+
+// OwnerVM returns the VM whose guest page a host frame backs, and the
+// guest physical address it backs. The second result is false for
+// unowned frames (free, page-table pages, VMM-internal).
+func (h *Host) OwnerVM(frame uint64) (*VM, uint64, bool) {
+	if frame >= uint64(len(h.owners)) {
+		return nil, 0, false
+	}
+	ref := h.owners[frame]
+	return ref.vm, ref.gpa, ref.vm != nil
+}
 
 // MemorySlot maps a contiguous guest physical range to host virtual
 // addresses of the VMM process (Figure 10). KVM keeps two large slots:
@@ -126,11 +168,54 @@ func (h *Host) CreateVM(cfg VMConfig) (*VM, error) {
 	}
 	vm.NPT = npt
 	if err := vm.backAll(); err != nil {
+		// Roll back whatever backing was installed before the failure
+		// (host OOM mid-backing is routine on a dense host), so a failed
+		// CreateVM leaks no host frames or table pages.
+		vm.releaseAll()
 		return nil, err
 	}
 	vm.buildSlots()
 	h.vms = append(h.vms, vm)
 	return vm, nil
+}
+
+// releaseAll frees every host frame registered to the VM and destroys
+// its nested page table. It is the teardown half of backAll, used to
+// roll back a partially built or partially migrated VM.
+func (vm *VM) releaseAll() {
+	type page struct {
+		gpa, hpa uint64
+		size     addr.PageSize
+	}
+	var pages []page
+	vm.NPT.VisitLeaves(func(gpa, hpa uint64, s addr.PageSize) bool {
+		pages = append(pages, page{gpa, hpa, s})
+		return true
+	})
+	for _, p := range pages {
+		if vm.NPT.Unmap(p.gpa, p.size) != nil {
+			continue
+		}
+		vm.unregisterBacking(p.hpa, p.size.Bytes())
+		for off := uint64(0); off < p.size.Bytes(); off += addr.PageSize4K {
+			vm.host.Mem.FreeFrame(physmem.AddrToFrame(p.hpa + off))
+		}
+	}
+	vm.NPT.Destroy()
+}
+
+// DestroyVM tears a VM down: every host frame backing it is freed, its
+// nested table destroyed, and the VM removed from the host. A VM
+// participating in copy-on-write sharing cannot be destroyed (freeing
+// a canonical frame would strand the other VMs mapping it); break
+// sharing first.
+func (h *Host) DestroyVM(vm *VM) error {
+	if len(vm.sharedFrames) > 0 {
+		return ErrSharedBacking
+	}
+	vm.releaseAll()
+	h.removeVM(vm)
+	return nil
 }
 
 // buildSlots creates the two KVM slots around the 4GB boundary.
@@ -179,9 +264,21 @@ func (vm *VM) backContiguous() error {
 	vm.hostBase = physmem.FrameToAddr(first)
 	vm.contig = true
 	vm.contigSize = vm.GuestMem.Size()
-	return vm.mapBacking(0, vm.GuestMem.Size(), func(gpa uint64) uint64 {
+	if err := vm.mapBacking(0, vm.GuestMem.Size(), func(gpa uint64) uint64 {
 		return vm.hostBase + gpa
-	})
+	}); err != nil {
+		// Free the run frames the nested table never mapped (the tail
+		// past the failure point); the mapped prefix is released by
+		// CreateVM's releaseAll rollback, which only sees mapped pages.
+		for f := first; f < first+frames; f++ {
+			if vm.host.owners[f].vm == nil {
+				vm.host.Mem.FreeFrame(f)
+			}
+		}
+		vm.contig = false
+		return err
+	}
+	return nil
 }
 
 // backChunked backs guest memory with independently allocated host
@@ -202,6 +299,9 @@ func (vm *VM) backChunked() error {
 		}
 		hpa := physmem.FrameToAddr(first)
 		if err := vm.NPT.Map(gpa, hpa, vm.cfg.NestedPageSize); err != nil {
+			for f := first; f < first+chunkFrames; f++ {
+				vm.host.Mem.FreeFrame(f) // unmapped chunk: releaseAll cannot see it
+			}
 			return err
 		}
 		vm.registerBacking(gpa, hpa, chunk)
@@ -241,6 +341,9 @@ func (vm *VM) backChunked4K() error {
 		}
 		hpa := physmem.FrameToAddr(runStart)
 		if err := vm.NPT.Map(gpa, hpa, addr.Page4K); err != nil {
+			for f := runStart; f < runStart+runLeft; f++ {
+				vm.host.Mem.FreeFrame(f) // unmapped run remainder: releaseAll cannot see it
+			}
 			return err
 		}
 		vm.registerBacking(gpa, hpa, addr.PageSize4K)
@@ -398,6 +501,9 @@ func (vm *VM) Balloon(frames []uint64) error {
 			return err
 		}
 		vm.contig = false
+		if vm.host.cb.Ballooned != nil {
+			vm.host.cb.Ballooned(vm, gpa)
+		}
 	}
 	return nil
 }
@@ -430,6 +536,9 @@ func (vm *VM) HotplugAdd(size uint64) (addr.Range, error) {
 	vm.buildSlots()
 	// Extend the high slot to cover the growth (§VI.C: "We extend the
 	// second KVM slot by the same amount of memory").
+	if vm.host.cb.Hotplugged != nil {
+		vm.host.cb.Hotplugged(vm, r)
+	}
 	return r, nil
 }
 
@@ -451,6 +560,47 @@ func (vm *VM) rollbackHotplug(r addr.Range, upTo uint64) {
 	}
 }
 
+// RetirePage models a hard memory fault in a page of the VM's backing
+// (§V): the failing host frame is marked bad and freed (the allocator
+// never hands out bad frames again), a healthy replacement is
+// allocated, and the nested mapping repointed at it. Returns the
+// replacement hPA. For a segment-mapped guest this is the event that
+// forces an escape: the caller inserts the page into the escape filter
+// and invalidates nested TLB state.
+func (vm *VM) RetirePage(gpa uint64) (uint64, error) {
+	gpa = addr.PageBase(gpa, addr.Page4K)
+	hpa, s, ok := vm.NPT.Translate(gpa)
+	if !ok {
+		return 0, fmt.Errorf("%w: gPA %#x", ErrNoBacking, gpa)
+	}
+	if s != addr.Page4K {
+		return 0, ErrBadNestedSize
+	}
+	oldFrame := physmem.AddrToFrame(hpa)
+	if vm.sharedFrames[oldFrame] {
+		return 0, fmt.Errorf("vmm: retiring shared frame %d: break sharing first", oldFrame)
+	}
+	f, err := vm.host.Mem.AllocFrame()
+	if err != nil {
+		return 0, fmt.Errorf("vmm: retire replacement: %w", err)
+	}
+	newHPA := physmem.FrameToAddr(f)
+	if err := vm.NPT.Remap(gpa, newHPA); err != nil {
+		vm.host.Mem.FreeFrame(f)
+		return 0, err
+	}
+	vm.unregisterBacking(hpa, addr.PageSize4K)
+	vm.registerBacking(gpa, newHPA, addr.PageSize4K)
+	if err := vm.host.Mem.MarkBad(oldFrame); err != nil {
+		return 0, err
+	}
+	if err := vm.host.Mem.FreeFrame(oldFrame); err != nil {
+		return 0, err
+	}
+	vm.contig = false
+	return newHPA, nil
+}
+
 // HotplugRemove releases the host backing of an unplugged guest range.
 func (vm *VM) HotplugRemove(r addr.Range) error {
 	if vm.cfg.NestedPageSize != addr.Page4K {
@@ -469,8 +619,23 @@ func (vm *VM) HotplugRemove(r addr.Range) error {
 			return err
 		}
 		vm.contig = false
+		if vm.host.cb.Unplugged != nil {
+			vm.host.cb.Unplugged(vm, gpa)
+		}
 	}
 	return nil
+}
+
+// GrowMem extends the host's physical memory by size bytes of offline
+// memory (machine-level DIMM hotplug) and the frame-owner registry with
+// it. The caller onlines the returned range via h.Mem.Online.
+func (h *Host) GrowMem(size uint64) (addr.Range, error) {
+	r, err := h.Mem.Grow(size)
+	if err != nil {
+		return addr.Range{}, err
+	}
+	h.owners = append(h.owners, make([]backingRef, size>>addr.PageShift4K)...)
+	return r, nil
 }
 
 // BackedFrames returns how many host frames currently back this VM.

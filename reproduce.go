@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"vdirect/internal/experiments"
+	"vdirect/internal/host"
 	"vdirect/internal/sched"
 	"vdirect/internal/telemetry"
 	"vdirect/internal/telemetry/walkprof"
@@ -148,6 +149,16 @@ type Options struct {
 	// -samples flags, or walkprof.Enable); with sampling off the section
 	// says so instead of rendering empty tables.
 	Walkprof bool
+	// Host adds the whole-host consolidation-density study: N guest VMs
+	// over one shared host memory, swept over density on a fixed host
+	// size, reporting the fragmentation knee and escape-filter cost.
+	// Off by default like the other extension sections. Shards also
+	// applies: each density cell's guests replay across that many
+	// goroutines.
+	Host bool
+	// HostDensity is the host study's maximum consolidation density
+	// (0 means 8 guests).
+	HostDensity int
 }
 
 // ReproduceAll runs the complete evaluation at the given scale —
@@ -191,8 +202,19 @@ func ReproduceAllOpts(scale Scale, opts Options) (Report, error) {
 		sharing            []experiments.SharingResult
 		consolidation      []experiments.ConsolidationResult
 		flatRows           []experiments.FlatRow
+		hostRows           []host.Result
 	)
 	tasks := []func() error{}
+	if opts.Host {
+		density := opts.HostDensity
+		if density <= 0 {
+			density = 8
+		}
+		tasks = append(tasks, section("host", func() (err error) {
+			hostRows, err = experiments.HostStudy(cfg, scale, "gups", density, opts.Shards)
+			return
+		}))
+	}
 	if opts.Schemes {
 		tasks = append(tasks, section("schemes", func() (err error) {
 			flatRows, err = experiments.SchemesStudy(cfg, scale, workload.BigMemoryNames())
@@ -255,6 +277,15 @@ func ReproduceAllOpts(scale Scale, opts Options) (Report, error) {
 	add("tableIII", experiments.TableIII())
 	if opts.Consolidation {
 		add("consolidation", experiments.ConsolidationTable(consolidation))
+	}
+	if opts.Host {
+		hostT := experiments.HostTable(hostRows)
+		text := hostT.Render()
+		if len(hostRows) > 0 {
+			text += "\n" + experiments.HostGuestTable(hostRows[len(hostRows)-1]).Render()
+		}
+		rep.Sections = append(rep.Sections, ReportSection{
+			Name: "host", Text: text, CSV: hostT.CSV()})
 	}
 	if opts.Schemes {
 		flatT := experiments.FlattenedTable(flatRows)

@@ -5,7 +5,9 @@
 # BenchmarkSetAssocLookupHit (the TLB probe itself, the innermost
 # loop), and BenchmarkTelemetryOverheadSampledOn (the same full cell
 # with 1-in-64 walk sampling enabled, so the sampler's hot-path cost
-# can't creep).
+# can't creep), and BenchmarkHostQuantum (a whole consolidated-host
+# cell — four guests admitted, replayed, and churned over one shared
+# physical memory — guarding the host layer's end-to-end cost).
 # Each runs count=5 with a fixed iteration count and the BEST run is
 # compared against scripts/bench_baseline.json — min-of-N is the noise-
 # robust statistic on shared runners, where a single run can eat a
@@ -55,4 +57,5 @@ gate() {
 gate BenchmarkCellBlock ./internal/replay/ 10x
 gate BenchmarkSetAssocLookupHit ./internal/tlb/ 2000000x
 gate BenchmarkTelemetryOverheadSampledOn ./internal/replay/ 10x
+gate BenchmarkHostQuantum ./internal/host/ 5x
 exit $status

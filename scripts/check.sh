@@ -11,7 +11,9 @@
 # samplecheck.sh then asserts observation does not perturb the
 # experiment: the full medium paperbench report is byte-identical with
 # 1-in-64 walk sampling on and off, and cmd/walkprof round-trips the
-# collected sample file.
+# collected sample file. hostcheck.sh does the same for scheduling:
+# the whole-host consolidation sweep (stdout and sample file) is
+# byte-identical across -j {1,8} x -shards {1,4}.
 # The scheme exhaustiveness lint and conformance suite run first: every
 # Mode constant in internal/mmu/scheme.go must have a fixture in the
 # conformance suite, and every registered scheme must pass it, before
@@ -52,5 +54,6 @@ go test -run Equivalence -race ./internal/replay/...
 go test -race ./...
 go test -run '^$' -bench 'TelemetryOverhead' -benchtime 3x ./internal/replay/
 sh scripts/samplecheck.sh
+sh scripts/hostcheck.sh
 sh scripts/covergate.sh
 sh scripts/benchgate.sh

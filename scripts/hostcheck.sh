@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# Host determinism gate: the whole-host consolidation-density sweep
+# must be byte-identical however it is scheduled. The host section
+# fans cells across -j workers and shards each cell's guest replay
+# across -shards goroutines; neither knob may leak into the report or
+# into the collected walk samples. Every (-j, -shards) combination of
+# {1,8}x{1,4} must produce the same stdout (only the trailing
+# wall-clock line stripped) and the same encoded sample file as the
+# serial run.
+set -eu
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/paperbench" ./cmd/paperbench
+
+for j in 1 8; do
+    for sh in 1 4; do
+        "$tmp/paperbench" -scale small -quiet -only host \
+            -j "$j" -shards "$sh" \
+            -sample 64 -samples "$tmp/walks-$j-$sh.jsonl" \
+            | grep -v '^— paperbench completed' > "$tmp/out-$j-$sh.txt"
+    done
+done
+
+for j in 1 8; do
+    for sh in 1 4; do
+        [ "$j" = 1 ] && [ "$sh" = 1 ] && continue
+        if ! cmp -s "$tmp/out-1-1.txt" "$tmp/out-$j-$sh.txt"; then
+            echo "hostcheck: host section stdout differs at -j $j -shards $sh" >&2
+            diff "$tmp/out-1-1.txt" "$tmp/out-$j-$sh.txt" >&2 || true
+            exit 1
+        fi
+        if ! cmp -s "$tmp/walks-1-1.jsonl" "$tmp/walks-$j-$sh.jsonl"; then
+            echo "hostcheck: host sample file differs at -j $j -shards $sh" >&2
+            exit 1
+        fi
+    done
+done
+
+if ! [ -s "$tmp/walks-1-1.jsonl" ]; then
+    echo "hostcheck: host run produced no walk samples" >&2
+    exit 1
+fi
+
+echo "hostcheck: host sweep byte-identical across -j {1,8} x -shards {1,4}"
