@@ -221,7 +221,39 @@ type MMU struct {
 	lastValid bool
 	lastVBase uint64 // 4K-aligned gVA
 	lastHBase uint64 // 4K-aligned hPA
+
+	// Miss-outcome memo (memo.go): per-(ASID, 4K VPN) records of fully
+	// resolved misses, invalidated wholesale by memoEpoch. A hit
+	// licenses the fused straight-line replay of the miss path; every
+	// modeled micro-op still re-executes there, so the memo can steer
+	// only host-side structure, never simulated outcomes.
+	memo      []memoEntry
+	memoEpoch uint64
+	// memoEscGen mirrors escV.Gen()+escG.Gen() as of the last epoch
+	// sync; a drift detected on the miss path bumps the epoch, making
+	// escape-filter mutation an invalidation source even though the
+	// filters are mutated directly, not through MMU methods.
+	memoEscGen uint64
+	memoHits   uint64
+	memoMisses uint64
+	// memoCheck engages the memo: entries are recorded, probed, and
+	// each fused replay's result cross-checked against the recorded
+	// outcome (panic on divergence). Off by default: the exact-replay
+	// doctrine means a memo hit licenses nothing skippable, so in
+	// production the probe would spend a host cache line per miss to
+	// learn what the replay recomputes anyway — measured at ~10% of the
+	// GUPS hot path. The memo therefore runs as a differential-testing
+	// oracle, not an accelerator; see DESIGN.md §5.
+	memoCheck bool
 }
+
+// bumpEpoch invalidates the miss memo wholesale. Every operation that
+// can change how a future miss resolves — flushes, ASID switches,
+// invalidations, table/segment/scheme register writes, fault service —
+// lands here; correctness does not depend on the list being complete
+// (the fused replay re-reads all modeled state), only the memo's
+// recorded outcomes' freshness does.
+func (m *MMU) bumpEpoch() { m.memoEpoch++ }
 
 // New builds an MMU with the given hardware configuration.
 func New(cfg Config) *MMU {
@@ -244,6 +276,7 @@ func New(cfg Config) *MMU {
 func (m *MMU) SetGuestPageTable(t *pagetable.Table) {
 	m.gPT = t
 	m.lastValid = false
+	m.bumpEpoch()
 }
 
 // SetNestedPageTable installs the second-dimension table and enables
@@ -252,6 +285,7 @@ func (m *MMU) SetNestedPageTable(t *pagetable.Table) {
 	m.nPT = t
 	m.virtualized = t != nil
 	m.lastValid = false
+	m.bumpEpoch()
 	m.updateScheme()
 }
 
@@ -263,6 +297,7 @@ func (m *MMU) SetNestedPageTable(t *pagetable.Table) {
 func (m *MMU) SetFlatNested(on bool) {
 	m.flatNested = on
 	m.lastValid = false
+	m.bumpEpoch()
 	m.updateScheme()
 }
 
@@ -273,6 +308,7 @@ func (m *MMU) FlatNested() bool { return m.flatNested }
 func (m *MMU) SetGuestSegment(r segment.Registers) {
 	m.segs.Guest = r
 	m.lastValid = false
+	m.bumpEpoch()
 	m.updateScheme()
 }
 
@@ -280,6 +316,7 @@ func (m *MMU) SetGuestSegment(r segment.Registers) {
 func (m *MMU) SetVMMSegment(r segment.Registers) {
 	m.segs.VMM = r
 	m.lastValid = false
+	m.bumpEpoch()
 	m.updateScheme()
 }
 
@@ -326,6 +363,7 @@ func (m *MMU) ResetStats() { m.stats = Stats{} }
 // nested invalidation would.
 func (m *MMU) FlushTLBs() {
 	m.lastValid = false
+	m.bumpEpoch()
 	m.l1.Flush()
 	m.l2.Flush()
 	m.pwc.Flush()
@@ -336,6 +374,7 @@ func (m *MMU) FlushTLBs() {
 // guest segment registers change; guest-visible translations flush.
 func (m *MMU) ContextSwitch(gpt *pagetable.Table, guestSeg segment.Registers) {
 	m.lastValid = false
+	m.bumpEpoch()
 	m.gPT = gpt
 	m.segs.Guest = guestSeg
 	m.updateScheme()
@@ -352,6 +391,7 @@ func (m *MMU) ContextSwitch(gpt *pagetable.Table, guestSeg segment.Registers) {
 // regardless.
 func (m *MMU) ContextSwitchASID(gpt *pagetable.Table, guestSeg segment.Registers, asid uint16) {
 	m.lastValid = false
+	m.bumpEpoch()
 	m.gPT = gpt
 	m.segs.Guest = guestSeg
 	m.updateScheme()
@@ -367,6 +407,7 @@ func (m *MMU) ContextSwitchASID(gpt *pagetable.Table, guestSeg segment.Registers
 // unconditionally (the flushed ASID may be the active one).
 func (m *MMU) FlushASID(a uint16) {
 	m.lastValid = false
+	m.bumpEpoch()
 	m.l1.FlushASID(a)
 	m.l2.FlushASID(a)
 	m.pwc.FlushASID(a)
@@ -383,6 +424,7 @@ func (m *MMU) FlushASID(a uint16) {
 // optimistic cost for one walk.
 func (m *MMU) InvalidatePage(gva uint64, s addr.PageSize) {
 	m.lastValid = false
+	m.bumpEpoch()
 	base := addr.PageBase(gva, s)
 	for off := uint64(0); off < s.Bytes(); off += addr.PageSize4K {
 		m.l1.Invalidate(base + off)
@@ -394,6 +436,7 @@ func (m *MMU) InvalidatePage(gva uint64, s addr.PageSize) {
 // composite and nested translations derived from the nPT are stale.
 func (m *MMU) InvalidateNested() {
 	m.lastValid = false
+	m.bumpEpoch()
 	m.l1.Flush()
 	m.l2.Flush()
 	m.pwc.Flush()
@@ -431,8 +474,9 @@ func (m *MMU) Translate(gva uint64) (Result, *Fault) {
 	}
 	m.stats.L1Misses++
 
-	res, fault := m.translateMiss(gva)
+	res, fault := m.missResolve(gva)
 	if fault != nil {
+		m.bumpEpoch() // the fault will be serviced before the retry
 		return Result{}, fault
 	}
 	m.lastValid, m.lastVBase, m.lastHBase = true, vbase, res.HPA&^(addr.PageSize4K-1)
@@ -448,9 +492,128 @@ func (m *MMU) Translate(gva uint64) (Result, *Fault) {
 // outside TranslateBlock are identical to per-event Translate calls —
 // this is the tight loop behind the replay engine's AccessBlock hook.
 func (m *MMU) TranslateBlock(evs []trace.Event, out []Result) (int, *Fault) {
+	// The batched run path decomposes the three-structure L1 probe into
+	// a 4K-run probe plus empty-structure charges, which is only exact
+	// while the 2M and 1G structures are empty. Large-page workloads
+	// (and any block during which a walk inserts a large entry — the
+	// re-check sits in the loop) take the per-event loop instead.
+	if !m.l1.Only4K() {
+		return m.translateBlockFrom(evs, out, 0)
+	}
 	var accesses, l1Hits uint64
 	lastValid, lastVBase, lastHBase := m.lastValid, m.lastVBase, m.lastHBase
-	for i := range evs {
+	// A probe run: consecutive events predicted to miss the last-page
+	// cache, probed against the L1 4K structure in one batched call.
+	// Miss-heavy phases keep runs at length 1 (no gathered-but-unused
+	// lookahead); each fully-hitting run doubles the next gather up to
+	// the tlb probe-run width, so hit-heavy phases pipeline their tag
+	// loads 8 wide.
+	var vpns, ppns [8]uint64
+	var idxs [8]int
+	runCap := 1
+	i := 0
+	for i < len(evs) {
+		// Gather: an event whose page equals its predecessor's resolves
+		// on the last-page cache; the others queue for the batched probe.
+		np := 0
+		prevOK, prevBase := lastValid, lastVBase
+		j := i
+		for ; j < len(evs) && np < runCap; j++ {
+			vbase := uint64(evs[j].VA) &^ (addr.PageSize4K - 1)
+			if prevOK && vbase == prevBase {
+				continue
+			}
+			vpns[np] = vbase >> addr.PageShift4K
+			idxs[np] = j
+			np++
+			prevOK, prevBase = true, vbase
+		}
+		if np == 0 {
+			// Pure last-page-cache tail.
+			for k := i; k < j; k++ {
+				accesses++
+				l1Hits++
+				if out != nil {
+					gva := uint64(evs[k].VA)
+					out[k] = Result{HPA: lastHBase + (gva - lastVBase), L1Hit: true}
+				}
+			}
+			i = j
+			continue
+		}
+		nh := m.l1.Lookup4KRun(vpns[:np], ppns[:np])
+		// Events before the first missing probe (or the whole gather
+		// when everything hit) completed; fill their results in order.
+		end, missAt := j, -1
+		if nh < np {
+			end, missAt = idxs[nh], idxs[nh]
+			runCap = 1
+		} else if runCap < len(vpns) {
+			runCap *= 2
+		}
+		p := 0
+		for k := i; k < end; k++ {
+			gva := uint64(evs[k].VA)
+			vbase := gva &^ (addr.PageSize4K - 1)
+			accesses++
+			l1Hits++
+			if p < nh && k == idxs[p] {
+				lastVBase, lastHBase = vbase, ppns[p]<<addr.PageShift4K
+				lastValid = true
+				p++
+			}
+			if out != nil {
+				out[k] = Result{HPA: lastHBase + (gva - vbase), L1Hit: true}
+			}
+		}
+		i = end
+		if missAt < 0 {
+			continue
+		}
+		// The missing event: its 4K probe was already charged inside the
+		// batched lookup; charge the (empty) 2M/1G probes and resolve.
+		gva := uint64(evs[missAt].VA)
+		vbase := gva &^ (addr.PageSize4K - 1)
+		accesses++
+		m.l1.MissLarge()
+		m.stats.Accesses += accesses
+		m.stats.L1Hits += l1Hits
+		accesses, l1Hits = 0, 0
+		m.stats.L1Misses++
+		res, fault := m.missResolve(gva)
+		if fault != nil {
+			m.lastValid, m.lastVBase, m.lastHBase = lastValid, lastVBase, lastHBase
+			m.bumpEpoch() // the fault will be serviced before the retry
+			return missAt, fault
+		}
+		lastValid, lastVBase, lastHBase = true, vbase, res.HPA&^(addr.PageSize4K-1)
+		if out != nil {
+			out[missAt] = res
+		}
+		i = missAt + 1
+		if !m.l1.Only4K() {
+			// The walk inserted a large-page entry: finish per-event.
+			m.stats.Accesses += accesses
+			m.stats.L1Hits += l1Hits
+			m.lastValid, m.lastVBase, m.lastHBase = lastValid, lastVBase, lastHBase
+			n, f := m.translateBlockFrom(evs, out, i)
+			return n, f
+		}
+	}
+	m.stats.Accesses += accesses
+	m.stats.L1Hits += l1Hits
+	m.lastValid, m.lastVBase, m.lastHBase = lastValid, lastVBase, lastHBase
+	return len(evs), nil
+}
+
+// translateBlockFrom is the per-event block loop, used for the whole
+// block when large-page L1 entries exist (from > 0 resumes after the
+// batched loop handed over mid-block). Probe-for-probe it is exactly
+// per-event Translate.
+func (m *MMU) translateBlockFrom(evs []trace.Event, out []Result, from int) (int, *Fault) {
+	var accesses, l1Hits uint64
+	lastValid, lastVBase, lastHBase := m.lastValid, m.lastVBase, m.lastHBase
+	for i := from; i < len(evs); i++ {
 		gva := uint64(evs[i].VA)
 		accesses++
 		vbase := gva &^ (addr.PageSize4K - 1)
@@ -476,9 +639,10 @@ func (m *MMU) TranslateBlock(evs []trace.Event, out []Result) (int, *Fault) {
 		m.stats.L1Hits += l1Hits
 		accesses, l1Hits = 0, 0
 		m.stats.L1Misses++
-		res, fault := m.translateMiss(gva)
+		res, fault := m.missResolve(gva)
 		if fault != nil {
 			m.lastValid, m.lastVBase, m.lastHBase = lastValid, lastVBase, lastHBase
+			m.bumpEpoch() // the fault will be serviced before the retry
 			return i, fault
 		}
 		lastValid, lastVBase, lastHBase = true, vbase, res.HPA&^(addr.PageSize4K-1)
@@ -683,6 +847,13 @@ func (m *MMU) walkGuestTable(va uint64, cycles *uint64, nested bool) (pa uint64,
 	if !m.cfg.DisablePWC {
 		skip = m.pwc.SkipLevel(va)
 	}
+	return m.walkGuestTableSkip(va, cycles, nested, skip)
+}
+
+// walkGuestTableSkip is walkGuestTable with the PWC skip level already
+// probed — the fused miss path (memo.go) interposes other work between
+// the probe and the walk.
+func (m *MMU) walkGuestTableSkip(va uint64, cycles *uint64, nested bool, skip int) (pa uint64, size addr.PageSize, ok bool, fault *Fault) {
 	m.refBuf = m.refBuf[:0]
 	pa, size, refs, ok := m.gPT.WalkFrom(va, skip, m.refBuf)
 	m.refBuf = refs

@@ -120,8 +120,19 @@ type Harness struct {
 
 	virtualized   bool
 	guestSegPages uint64 // current guest-segment span in pages (0 = off)
-	vmmSegOn      bool
-	flat          bool // flattened nested walks (latent while unvirtualized)
+
+	// OS-side PCID bookkeeping for opContextSwitch. curAsid shadows the
+	// MMUs' ASID register (untagged switches leave it unchanged, so the
+	// harness must know where inserts are landing); asidOwner[a] is the
+	// process whose translations may live under tag a (-1 = none). A
+	// tagged switch that would reuse a slot last populated by the OTHER
+	// process must INVPCID it first — exactly the hazard a real OS
+	// avoids when it mixes non-PCID and PCID switching (Linux's
+	// choose_new_asid does the same slot-generation check).
+	curAsid   uint16
+	asidOwner [2]int8
+	vmmSegOn  bool
+	flat      bool // flattened nested walks (latent while unvirtualized)
 
 	// filtersClean is true until the first escape-filter insertion;
 	// while true, the Bloom filters provably produce no positives and
@@ -154,6 +165,8 @@ func NewHarnessNested(nested addr.PageSize) (*Harness, error) {
 		nestedLevels: Levels(nested),
 		guestBytes:   guestSize,
 		hostBytes:    hostSize,
+		// Process 0 boots under the MMUs' reset ASID 0; tag 1 is clean.
+		asidOwner: [2]int8{0, -1},
 	}
 	if nested == addr.Page1G {
 		// The guest must span one whole 1G leaf; the host needs that
@@ -228,6 +241,13 @@ func NewHarnessNested(nested addr.PageSize) (*Harness, error) {
 		m.SetNestedPageTable(vm.NPT)
 		m.SetGuestSegment(proc.Seg)
 		m.SetVMMSegment(h.vmmRegs)
+		// Engage the miss memo and its cross-check: whenever an op
+		// stream steers a stack into the fused-eligible configuration
+		// (unsegmented nested paging — the pressure geometry once both
+		// segments are off), every replayed miss is verified against the
+		// recorded outcome, so an invalidation gap in the memo's epoch
+		// scheme panics the fuzz target instead of hiding.
+		m.SetMemoCheck(true)
 	}
 
 	// Mirror architectural state into the oracle. The nested map is
@@ -361,7 +381,7 @@ func (h *Harness) step(r *opReader) error {
 		return h.opEscapeGuest(r.next())
 	default: // 16/256: sub-op
 		b := r.next()
-		switch b % 6 {
+		switch b % 7 {
 		case subEscVMM:
 			return h.opEscapeVMM(r.next(), r.next())
 		case subBalloon:
@@ -380,6 +400,15 @@ func (h *Harness) step(r *opReader) error {
 			for _, m := range h.mmus {
 				m.FlushASID(asid)
 			}
+			// The slot is only truly empty if it isn't the live tag: the
+			// running process repopulates its own slot on the very next
+			// insert, so its ownership must survive the flush or a later
+			// tagged switch would adopt those entries without flushing.
+			if asid == h.curAsid {
+				h.asidOwner[asid] = int8(h.cur)
+			} else {
+				h.asidOwner[asid] = -1
+			}
 		case subToggleFlat:
 			// Flip the flattened-nested-walk flag. Flattening is a
 			// walk-cost mechanism, never a translation change, so the
@@ -387,6 +416,18 @@ func (h *Harness) step(r *opReader) error {
 			// the flat walker resolves and faults exactly as the base 2D
 			// walk, while checkCost holds it to the flattened closed form.
 			h.setFlat(!h.flat)
+		case subInvlPage:
+			// INVLPG of an arbitrary page: pure cache surgery (the
+			// mapping itself is untouched, so surviving entries stay
+			// valid and the oracle model needs no update). Exercises
+			// per-page invalidation against the last-page cache and the
+			// miss memo's epoch — a page whose memo entry survived an
+			// INVLPG stale would trip the memoCheck cross-check on its
+			// next recorded replay.
+			va := addr.PageBase(h.decodeVA(r.next(), r.next()), addr.Page4K)
+			for _, m := range h.mmus {
+				m.InvalidatePage(va, addr.Page4K)
+			}
 		}
 	}
 	return nil
@@ -416,13 +457,31 @@ func (h *Harness) opContextSwitch(b byte) {
 	h.guestSegPages = st.segPages
 
 	regs := segment.NewRegisters(PrimBase, h.primGPA, h.guestSegPages<<addr.PageShift4K)
-	tagged := b&1 != 0
-	for _, m := range h.mmus {
-		if tagged {
-			m.ContextSwitchASID(h.proc.PT, regs, uint16(h.cur))
-		} else {
+	if tagged := b&1 != 0; tagged {
+		next := uint16(h.cur)
+		// Reusing a PCID slot the other process's translations still
+		// occupy (an untagged timeslice inserts under whatever ASID the
+		// register held) would hand those translations to the incoming
+		// process; flush the slot first, as an OS mixing non-PCID and
+		// PCID switching must.
+		if o := h.asidOwner[next]; o != int8(h.cur) && o != -1 {
+			for _, m := range h.mmus {
+				m.FlushASID(next)
+			}
+		}
+		for _, m := range h.mmus {
+			m.ContextSwitchASID(h.proc.PT, regs, next)
+		}
+		h.curAsid = next
+		h.asidOwner[next] = int8(h.cur)
+	} else {
+		for _, m := range h.mmus {
 			m.ContextSwitch(h.proc.PT, regs)
 		}
+		// The full flush emptied every slot; the incoming process's
+		// inserts land under the unchanged ASID register.
+		h.asidOwner = [2]int8{-1, -1}
+		h.asidOwner[h.curAsid] = int8(h.cur)
 	}
 	h.model.GuestSeg = Segment{Base: regs.Base, Limit: regs.Limit, Offset: regs.Offset}
 }

@@ -17,7 +17,8 @@ package oracle
 // each) over plain paging churn (16/256 each): access(b1,b2),
 // map(b1,b2), unmap(b1,b2), resize(b), toggle VMM segment, toggle
 // virtualization, escape guest page(b), sub-op(b): escape VMM page /
-// balloon / flush / context switch / ASID flush / flat-walk toggle.
+// balloon / flush / context switch / ASID flush / flat-walk toggle /
+// single-page invalidate(b1,b2).
 const (
 	opAccess     = 0   // 0-119
 	opMap        = 120 // 120-135
@@ -34,6 +35,7 @@ const (
 	subSwitch     = 3 // context switch; operand bit 0 = ASID-tagged
 	subFlushASID  = 4 // INVPCID of operand%2
 	subToggleFlat = 5 // flip flattened nested walks
+	subInvlPage   = 6 // INVLPG of a decoded VA (b1,b2)
 
 	flagPlainOnly = 0
 	flagMonotone  = 1
@@ -59,6 +61,7 @@ func namedSeeds() []namedSeed {
 		{"seed-nested-2m", seedNestedHuge(flagMonotone | flagNested2M)},
 		{"seed-nested-1g", seedNestedHuge(flagNested1G)},
 		{"seed-multi-process", seedMultiProcess()},
+		{"seed-memo-churn", seedMemoChurn()},
 		{"seed-flat-nested", seedFlatNested()},
 	}
 }
@@ -220,6 +223,56 @@ func seedFlatNested() []byte {
 			opAccess, 2, byte(i*17),
 			opSub, subToggleFlat,
 		)
+	}
+	return b
+}
+
+// seedMemoChurn drives the fused-eligible configuration (unsegmented
+// nested paging) through every miss-memo invalidation source while
+// re-touching a small page set hot enough to keep recorded entries
+// live: full flushes, INVPCID, tagged and untagged context switches,
+// single-page INVLPG of the hot pages, segment re-enable/disable and
+// flat-walk flips. The harness runs with SetMemoCheck on, so a memo
+// entry surviving any of these operations stale is a panic, not a
+// silent wrong record.
+func seedMemoChurn() []byte {
+	b := []byte{flagPlainOnly}
+	// Drop both segments: VMM toggle off, guest segment resized to zero
+	// pages. From here the pressure stack's misses take the fused path
+	// and the memo records/verifies each one.
+	b = append(b, opToggleVMM, opResize, 0)
+	touch := func(k int) {
+		for i := 0; i < 6; i++ {
+			b = append(b, opAccess, 2, byte(16+(k+i)%12)) // hot paged-region set
+		}
+	}
+	touch(0)
+	for i := 0; i < 10; i++ {
+		b = append(b,
+			opMap, byte(i), byte(16+i),
+		)
+		touch(i)
+		b = append(b, opSub, subInvlPage, 2, byte(16+i)) // INVLPG a hot page
+		touch(i + 1)
+		b = append(b, opSub, subFlush)
+		touch(i + 2)
+		b = append(b, opSub, subFlushASID, byte(i))
+		touch(i + 3)
+		b = append(b, opSub, subSwitch, byte(i)) // tagged on odd i
+		b = append(b, opResize, 0)               // new process: drop its segment too
+		touch(i + 4)
+		b = append(b, opSub, subSwitch, byte(i+1))
+		touch(i + 5)
+		b = append(b,
+			opResize, 64, // re-cover: gate off, memo cold
+			opAccess, 0, byte(i*7),
+			opResize, 0, // uncover: gate back on
+		)
+		touch(i + 6)
+		b = append(b, opSub, subToggleFlat) // flat: gate off
+		touch(i + 7)
+		b = append(b, opSub, subToggleFlat) // back: gate on, epoch moved
+		touch(i + 8)
 	}
 	return b
 }

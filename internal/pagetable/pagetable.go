@@ -184,6 +184,54 @@ func (t *Table) Map(va, pa uint64, s addr.PageSize) error {
 	return nil
 }
 
+// MapRange4K installs n consecutive 4K translations va+i·4K → pa+i·4K,
+// equivalent to n Map calls in ascending order — same overlap checks,
+// same table-page allocation order — but descending once per 2M span
+// instead of once per page. It returns how many pages were mapped
+// before any error, so callers can account for (or roll back) a
+// partially installed run.
+func (t *Table) MapRange4K(va, pa uint64, n uint64) (uint64, error) {
+	if !addr.IsAligned(va, addr.Page4K) || !addr.IsAligned(pa, addr.Page4K) {
+		return 0, ErrMisaligned
+	}
+	var done uint64
+	for done < n {
+		// Descend to the PT covering va, allocating interior tables
+		// exactly as Map would.
+		nd := t.root
+		for lvl := 0; lvl < addr.LvlPT; lvl++ {
+			idx := addr.Index(va, lvl)
+			w := nd.words[idx]
+			if w&(peP|peL) == peP|peL {
+				return done, ErrOverlap
+			}
+			if w&peP == 0 {
+				child, err := t.newNode()
+				if err != nil {
+					return done, err
+				}
+				nd.setChild(idx, child)
+			}
+			nd = nd.kids[idx]
+		}
+		// Fill leaf entries until the PT ends or the run is exhausted.
+		idx := addr.Index(va, addr.LvlPT)
+		for idx < addr.EntriesPerTable && done < n {
+			if nd.words[idx]&peP != 0 {
+				return done, ErrOverlap
+			}
+			nd.words[idx] = peP | peL | (pa>>addr.PageShift4K)<<peShift
+			nd.used++
+			t.mappings++
+			idx++
+			done++
+			va += addr.PageSize4K
+			pa += addr.PageSize4K
+		}
+	}
+	return done, nil
+}
+
 // Unmap removes the translation for va, which must be mapped with
 // exactly page size s. Empty intermediate tables are reclaimed.
 func (t *Table) Unmap(va uint64, s addr.PageSize) error {
@@ -384,6 +432,58 @@ func (t *Table) WalkFast(va uint64, skipOf func() int, refs []Ref) (pa uint64, s
 	}
 	return w>>peShift<<addr.PageShift4K + va&(addr.PageSize4K-1),
 		addr.Page4K, refs, true
+}
+
+// FastProbe is a handle to a confirmed 4K-leaf walk-cache path,
+// returned by Probe4K and consumed by Emit. It exists so a caller can
+// interpose modeled side effects (a PWC skip probe, which must not run
+// on walks that fall back to the general path) between confirming the
+// fast path and emitting its references, without re-reading the walk
+// cache and table node a second time.
+type FastProbe struct {
+	e   *wcEntry
+	nd  *node
+	idx uint64
+	w   uint64
+}
+
+// Probe4K checks whether the walk-cache fast path holds a present 4K
+// leaf for va: the 2M prefix's PT node is cached, current, and the
+// entry is present. It touches no modeled state. The returned handle is
+// only valid until the next table mutation.
+func (t *Table) Probe4K(va uint64) (FastProbe, bool) {
+	e := &t.wc[va>>21&wcMask]
+	if e.tag != va>>21 || e.gen != t.gen {
+		return FastProbe{}, false
+	}
+	nd := e.pt
+	idx := va >> addr.PageShift4K & (addr.EntriesPerTable - 1)
+	w := nd.words[idx]
+	if w&peP == 0 {
+		return FastProbe{}, false
+	}
+	return FastProbe{e: e, nd: nd, idx: idx, w: w}, true
+}
+
+// Emit completes the fast walk the handle confirmed: reference
+// addresses for levels [skip, LvlPT] in walk order (fixed array, no
+// slice traffic), the leaf accessed-bit store-on-flip, and the
+// translated physical address — identical modeled behaviour to
+// WalkFast with the same skip.
+func (f FastProbe) Emit(va uint64, skip int) (pa uint64, refs [addr.Levels]uint64, n int) {
+	if skip > addr.LvlPT {
+		skip = addr.LvlPT
+	}
+	for lvl := skip; lvl < addr.LvlPT; lvl++ {
+		refs[n] = f.e.refs[lvl]
+		n++
+	}
+	refs[n] = f.nd.frame<<addr.PageShift4K + f.idx*8
+	n++
+	if f.w&peA == 0 {
+		f.nd.words[f.idx] = f.w | peA
+	}
+	return f.w>>peShift<<addr.PageShift4K + va&(addr.PageSize4K-1), refs, n
 }
 
 // Translate is Walk without reference recording, for software paths

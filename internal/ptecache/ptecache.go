@@ -47,11 +47,19 @@ const tagValid = 1 << 63
 type Cache struct {
 	cfg  Config
 	sets int
-	// Structure-of-arrays line storage, sets*ways, row-major: packed
-	// valid|lineAddr tag words, with LRU stamps touched only on hit or
-	// fill.
-	tags []uint64
-	lrus []uint64
+	// Line storage interleaved per way: slot 2i holds way i's packed
+	// valid|lineAddr tag word, slot 2i+1 its LRU stamp. A way's tag and
+	// stamp share a host cache line, so the hint-hit fast path — one
+	// tag compare, one stamp store — touches a single line where
+	// separate tag/LRU arrays touched two.
+	slots []uint64
+	// hint remembers each set's last hit (or fill) way. Page walks
+	// re-reference the same handful of PTE lines, so checking that way
+	// first resolves most probes in one compare instead of a scan. The
+	// hint is a pure accelerator: a stale hint just falls back to the
+	// full scan, so outcomes, counters and LRU state are bit-identical
+	// to the hint-free probe.
+	hint []uint8
 	// mask indexes power-of-two set counts without division (all shipped
 	// geometries are powers of two); the modulo path is a fallback.
 	mask   uint64
@@ -68,12 +76,12 @@ func New(cfg Config) *Cache {
 	}
 	sets := cfg.Lines / cfg.Ways
 	return &Cache{
-		cfg:  cfg,
-		sets: sets,
-		tags: make([]uint64, cfg.Lines),
-		lrus: make([]uint64, cfg.Lines),
-		mask: uint64(sets - 1),
-		pow2: sets&(sets-1) == 0,
+		cfg:   cfg,
+		sets:  sets,
+		slots: make([]uint64, cfg.Lines*2),
+		hint:  make([]uint8, sets),
+		mask:  uint64(sets - 1),
+		pow2:  sets&(sets-1) == 0,
 	}
 }
 
@@ -93,18 +101,26 @@ func (c *Cache) Access(phys uint64) uint64 {
 		}
 	}
 	key := tagValid | lineAddr
-	b := set * c.cfg.Ways
-	end := b + c.cfg.Ways
-	// Hit scan first, victim selection only on a confirmed miss: the
-	// common hit touches nothing but the set's tag words. (A hit can sit
-	// after an invalid way, so the hit scan must cover every way before
-	// a miss is declared.) The full-capacity subslice lets the range
-	// loop run without per-way bounds checks — this is the innermost
+	b := set * c.cfg.Ways * 2
+	end := b + c.cfg.Ways*2
+	// Last-hit-way hint first: walks re-touch the same PTE lines, so
+	// this one compare resolves most probes, and the way's adjacent
+	// tag/stamp pair keeps it to one line of traffic. Outcome-identical
+	// to the scan below — it merely finds the same hit sooner.
+	if h := int(c.hint[set]); h < c.cfg.Ways && c.slots[b+2*h] == key {
+		c.slots[b+2*h+1] = c.clock
+		return c.cfg.HitCycles
+	}
+	// Hit scan first, victim selection only on a confirmed miss. (A hit
+	// can sit after an invalid way, so the hit scan must cover every way
+	// before a miss is declared.) The full-capacity subslice lets the
+	// loops run without per-way bounds checks — this is the innermost
 	// loop of every simulated page walk.
-	tags := c.tags[b:end:end]
-	for j, t := range tags {
-		if t == key {
-			c.lrus[b+j] = c.clock
+	ws := c.slots[b:end:end]
+	for j := 0; j < c.cfg.Ways; j++ {
+		if ws[2*j] == key {
+			c.hint[set] = uint8(j)
+			ws[2*j+1] = c.clock
 			return c.cfg.HitCycles
 		}
 	}
@@ -112,19 +128,19 @@ func (c *Cache) Access(phys uint64) uint64 {
 	// Victim choice matches the old layout exactly: first invalid way
 	// in scan order, else the minimum-LRU way.
 	victim := 0
-	lrus := c.lrus[b:end:end]
-	vLRU := lrus[0]
-	for j, t := range tags {
-		if t&tagValid == 0 {
+	vLRU := ws[1]
+	for j := 0; j < c.cfg.Ways; j++ {
+		if ws[2*j]&tagValid == 0 {
 			victim = j
 			break
 		}
-		if l := lrus[j]; l < vLRU {
+		if l := ws[2*j+1]; l < vLRU {
 			victim, vLRU = j, l
 		}
 	}
-	tags[victim] = key
-	lrus[victim] = c.clock
+	ws[2*victim] = key
+	ws[2*victim+1] = c.clock
+	c.hint[set] = uint8(victim)
 	return c.cfg.MissCycles
 }
 
@@ -133,7 +149,7 @@ func (c *Cache) Stats() (refs, misses uint64) { return c.refs, c.misses }
 
 // Flush invalidates all lines.
 func (c *Cache) Flush() {
-	for i := range c.tags {
-		c.tags[i] = 0
+	for i := 0; i < len(c.slots); i += 2 {
+		c.slots[i] = 0
 	}
 }

@@ -98,10 +98,13 @@ type SetAssoc struct {
 	name string
 	sets int
 	ways int
-	// Structure-of-arrays entry storage, sets*ways, row-major.
-	tags []uint64 // packed valid|kind|asid|vpn words (see layout above)
-	ppns []uint64 // target page numbers
-	lrus []uint64 // LRU stamps (clock at last hit/insert)
+	// Entry storage, interleaved per set: each set owns a block of
+	// 3*ways words laid out [tags×ways][ppns×ways][lrus×ways], so one
+	// probe touches at most two host cache lines (the tag words plus
+	// the hit way's ppn/lru words sit within one 96-byte block for the
+	// shipped 4-way geometries) where separate tag/ppn/lru arrays
+	// spread a hit over three.
+	slots []uint64
 	// mask indexes power-of-two set counts without division; every
 	// shipped geometry (Table VI and the PWC sizes) is a power of two,
 	// so the modulo fallback exists only for exotic test geometries.
@@ -133,23 +136,22 @@ func NewSetAssoc(name string, entries, ways int) *SetAssoc {
 	}
 	sets := entries / ways
 	return &SetAssoc{
-		name: name,
-		sets: sets,
-		ways: ways,
-		tags: make([]uint64, entries),
-		ppns: make([]uint64, entries),
-		lrus: make([]uint64, entries),
-		mask: uint64(sets - 1),
-		pow2: sets&(sets-1) == 0,
+		name:  name,
+		sets:  sets,
+		ways:  ways,
+		slots: make([]uint64, entries*3),
+		mask:  uint64(sets - 1),
+		pow2:  sets&(sets-1) == 0,
 	}
 }
 
-// base returns the first slot index of vpn's set.
+// base returns the first slot index of vpn's set block (3*ways words:
+// tags, then ppns, then lrus).
 func (c *SetAssoc) base(vpn uint64) int {
 	if c.pow2 {
-		return int(vpn&c.mask) * c.ways
+		return int(vpn&c.mask) * (c.ways * 3)
 	}
-	return int(vpn%uint64(c.sets)) * c.ways
+	return int(vpn%uint64(c.sets)) * (c.ways * 3)
 }
 
 // Lookup searches for (kind, vpn); on a hit it refreshes LRU state and
@@ -169,32 +171,115 @@ func (c *SetAssoc) Lookup(kind EntryKind, vpn uint64) (ppn uint64, hit bool) {
 	// so a foreign address space's entry for the same vpn is just a
 	// non-matching word — the probe is four pure compares.
 	if c.ways == 4 {
-		t := c.tags[b : b+4 : b+4]
+		t := c.slots[b : b+12 : b+12]
 		j := -1
 		if t[0] == k {
-			j = b
+			j = 0
 		} else if t[1] == k {
-			j = b + 1
+			j = 1
 		} else if t[2] == k {
-			j = b + 2
+			j = 2
 		} else if t[3] == k {
-			j = b + 3
+			j = 3
 		}
 		if j < 0 {
 			return 0, false
 		}
-		c.lrus[j] = c.clock
+		t[8+j] = c.clock
 		c.hits++
-		return c.ppns[j], true
+		return t[4+j], true
 	}
-	for j := b; j < b+c.ways; j++ {
-		if c.tags[j] == k {
-			c.lrus[j] = c.clock
+	for j := 0; j < c.ways; j++ {
+		if c.slots[b+j] == k {
+			c.slots[b+2*c.ways+j] = c.clock
 			c.hits++
-			return c.ppns[j], true
+			return c.slots[b+c.ways+j], true
 		}
 	}
 	return 0, false
+}
+
+// probeRun is the batched-probe chunk size: set indices and packed tag
+// keys are precomputed for runs of this many probes before any tag
+// word is compared, so the loads overlap instead of serializing behind
+// each probe's hit/miss branch.
+const probeRun = 8
+
+// LookupRun probes a run of guest-kind VPNs in order under the current
+// ASID, filling ppns[k] with the k-th probe's target on a hit, and
+// stops at the first miss. It returns the number of leading hits.
+// Counter and LRU evolution is exactly per-probe Lookup's — including
+// the first missing probe when the return value is < len(vpns), whose
+// lookup/clock charge has then already been taken, so the caller must
+// not re-probe that VPN. Geometries other than the shipped 4-way fall
+// back to per-probe Lookup (identical semantics, no pipelining).
+func (c *SetAssoc) LookupRun(vpns, ppns []uint64) int {
+	if c.ways != 4 {
+		for i, vpn := range vpns {
+			ppn, hit := c.Lookup(KindGuest, vpn)
+			if !hit {
+				return i
+			}
+			ppns[i] = ppn
+		}
+		return len(vpns)
+	}
+	n := 0
+	for n < len(vpns) {
+		run := len(vpns) - n
+		if run > probeRun {
+			run = probeRun
+		}
+		var keys [probeRun]uint64
+		var bases [probeRun]int32
+		var first [probeRun]uint64
+		chunk := vpns[n : n+run]
+		if c.occupied == 0 {
+			// Empty structure: the first probe misses without a scan,
+			// charging its counters exactly as Lookup's early-miss does.
+			c.lookups++
+			c.clock++
+			return n
+		}
+		for i, vpn := range chunk {
+			k := tagValid | uint64(c.curASID)<<asidShift | vpn
+			if vpn >= vpnMax {
+				k = 0 // no stored tag can match: a guaranteed miss
+			}
+			b := c.base(vpn)
+			keys[i] = k
+			bases[i] = int32(b)
+			first[i] = c.slots[b] // overlap the runs' tag-line loads
+		}
+		for i := 0; i < run; i++ {
+			c.lookups++
+			c.clock++
+			k := keys[i]
+			if k == 0 {
+				return n // out-of-range VPN: missed by construction
+			}
+			b := int(bases[i])
+			t := c.slots[b : b+12 : b+12]
+			j := -1
+			if first[i] == k {
+				j = 0
+			} else if t[1] == k {
+				j = 1
+			} else if t[2] == k {
+				j = 2
+			} else if t[3] == k {
+				j = 3
+			}
+			if j < 0 {
+				return n
+			}
+			t[8+j] = c.clock
+			c.hits++
+			ppns[n] = t[4+j]
+			n++
+		}
+	}
+	return n
 }
 
 // SetASID changes the address-space identifier tagging guest entries.
@@ -203,22 +288,31 @@ func (c *SetAssoc) SetASID(a uint16) { c.curASID = a }
 // FlushASID invalidates the guest entries of one address space.
 func (c *SetAssoc) FlushASID(a uint16) {
 	want := uint64(tagValid) | uint64(a)<<asidShift
-	for i, t := range c.tags {
-		if t&(tagValid|tagKind|asidMask) == want {
-			c.tags[i] = 0
-			c.occupied--
+	stride := c.ways * 3
+	for b := 0; b < len(c.slots); b += stride {
+		for j := 0; j < c.ways; j++ {
+			if c.slots[b+j]&(tagValid|tagKind|asidMask) == want {
+				c.slots[b+j] = 0
+				c.occupied--
+			}
 		}
 	}
 }
 
 // Insert installs an entry, evicting the LRU way of its set if needed.
 func (c *SetAssoc) Insert(e Entry) {
+	c.insert(e.Kind, e.VPN, e.PPN)
+}
+
+// insert is the lean form of Insert used on the translation hot path:
+// same semantics, no Entry struct to build and copy at the call site.
+func (c *SetAssoc) insert(kind EntryKind, vpn, ppn uint64) {
 	c.clock++
-	if e.VPN >= vpnMax {
-		panic(fmt.Sprintf("tlb: %s: VPN %#x exceeds the 46-bit tag-word field", c.name, e.VPN))
+	if vpn >= vpnMax {
+		panic(fmt.Sprintf("tlb: %s: VPN %#x exceeds the 46-bit tag-word field", c.name, vpn))
 	}
-	k := c.key(e.Kind, e.VPN)
-	b := c.base(e.VPN)
+	k := c.key(kind, vpn)
+	b := c.base(vpn)
 	// One interleaved scan, not match-then-victim passes: the victim is
 	// the refresh-match or the first invalid way, whichever appears
 	// first in way order, else the LRU way — an invalid way before a
@@ -231,8 +325,7 @@ func (c *SetAssoc) Insert(e Entry) {
 		// Unrolled like Lookup: the LRU words load only when no way
 		// matched or was free. Way indices stay relative (masked to the
 		// subslice length) so every store below is bounds-check free.
-		t := c.tags[b : b+4 : b+4]
-		l := c.lrus[b : b+4 : b+4]
+		t := c.slots[b : b+12 : b+12]
 		v := 0
 		switch {
 		case t[0] == k || t[0]&tagValid == 0:
@@ -243,14 +336,14 @@ func (c *SetAssoc) Insert(e Entry) {
 		case t[3] == k || t[3]&tagValid == 0:
 			v = 3
 		default:
-			vLRU := l[0]
-			if l[1] < vLRU {
-				v, vLRU = 1, l[1]
+			vLRU := t[8]
+			if t[9] < vLRU {
+				v, vLRU = 1, t[9]
 			}
-			if l[2] < vLRU {
-				v, vLRU = 2, l[2]
+			if t[10] < vLRU {
+				v, vLRU = 2, t[10]
 			}
-			if l[3] < vLRU {
+			if t[11] < vLRU {
 				v = 3
 			}
 		}
@@ -262,15 +355,15 @@ func (c *SetAssoc) Insert(e Entry) {
 			c.evictions++
 		}
 		t[v] = k
-		c.ppns[b+v] = e.PPN
-		l[v] = c.clock
+		t[4+v] = ppn
+		t[8+v] = c.clock
 		return
 	}
-	victim := b
+	victim := 0
 	{
-		vLRU := c.lrus[b]
-		for j := b; j < b+c.ways; j++ {
-			t := c.tags[j]
+		vLRU := c.slots[b+2*c.ways]
+		for j := 0; j < c.ways; j++ {
+			t := c.slots[b+j]
 			if t == k {
 				victim = j // refresh in place
 				break
@@ -279,25 +372,28 @@ func (c *SetAssoc) Insert(e Entry) {
 				victim = j
 				break
 			}
-			if l := c.lrus[j]; l < vLRU {
+			if l := c.slots[b+2*c.ways+j]; l < vLRU {
 				victim, vLRU = j, l
 			}
 		}
 	}
-	if t := c.tags[victim]; t&tagValid == 0 {
+	if t := c.slots[b+victim]; t&tagValid == 0 {
 		c.occupied++
 	} else if t != k {
 		c.evictions++
 	}
-	c.tags[victim] = k
-	c.ppns[victim] = e.PPN
-	c.lrus[victim] = c.clock
+	c.slots[b+victim] = k
+	c.slots[b+c.ways+victim] = ppn
+	c.slots[b+2*c.ways+victim] = c.clock
 }
 
 // Flush invalidates every entry.
 func (c *SetAssoc) Flush() {
-	for i := range c.tags {
-		c.tags[i] = 0
+	stride := c.ways * 3
+	for b := 0; b < len(c.slots); b += stride {
+		for j := 0; j < c.ways; j++ {
+			c.slots[b+j] = 0
+		}
 	}
 	c.occupied = 0
 }
@@ -306,10 +402,13 @@ func (c *SetAssoc) Flush() {
 // nested-page-table change).
 func (c *SetAssoc) FlushKind(kind EntryKind) {
 	want := tagValid | uint64(kind)<<62
-	for i, t := range c.tags {
-		if t&(tagValid|tagKind) == want {
-			c.tags[i] = 0
-			c.occupied--
+	stride := c.ways * 3
+	for b := 0; b < len(c.slots); b += stride {
+		for j := 0; j < c.ways; j++ {
+			if c.slots[b+j]&(tagValid|tagKind) == want {
+				c.slots[b+j] = 0
+				c.occupied--
+			}
 		}
 	}
 }
@@ -323,9 +422,9 @@ func (c *SetAssoc) InvalidatePage(kind EntryKind, vpn uint64) {
 	}
 	k := plainKey(kind, vpn)
 	b := c.base(vpn)
-	for j := b; j < b+c.ways; j++ {
-		if c.tags[j]&^asidMask == k {
-			c.tags[j] = 0
+	for j := 0; j < c.ways; j++ {
+		if c.slots[b+j]&^asidMask == k {
+			c.slots[b+j] = 0
 			c.occupied--
 		}
 	}
@@ -409,14 +508,38 @@ func (l *L1) Lookup(va uint64) (pa uint64, size addr.PageSize, hit bool) {
 	return 0, 0, false
 }
 
+// Only4K reports whether the 2M and 1G structures are empty, meaning a
+// probe decomposes into a 4K probe plus two empty-structure charges
+// (see MissLarge) and the batched 4K run path is exact.
+func (l *L1) Only4K() bool { return l.by2M.occupied == 0 && l.by1G.occupied == 0 }
+
+// Lookup4KRun batch-probes the 4K structure for a run of 4K VPNs under
+// the current ASID; see SetAssoc.LookupRun for the stop-at-first-miss
+// contract. Valid only while Only4K() holds — a 4K hit never touches
+// the 2M/1G structures, so a run of 4K hits is probe-for-probe
+// identical to per-event Lookup calls.
+func (l *L1) Lookup4KRun(vpns, ppns []uint64) int { return l.by4K.LookupRun(vpns, ppns) }
+
+// MissLarge charges the empty 2M and 1G structures' probes for one
+// event whose batched 4K probe missed — the same bump-and-scan-nothing
+// accounting Lookup inlines, in the same probe order. Caller must have
+// checked Only4K.
+func (l *L1) MissLarge() {
+	l.by2M.lookups++
+	l.by2M.clock++
+	l.by1G.lookups++
+	l.by1G.clock++
+}
+
 // Insert caches a completed translation at its page size.
 func (l *L1) Insert(va, pa uint64, s addr.PageSize) {
-	l.structFor(s).Insert(Entry{
-		Kind: KindGuest,
-		VPN:  addr.PageNumber(va, s),
-		PPN:  addr.PageNumber(pa, s),
-		Size: s,
-	})
+	if s == addr.Page4K {
+		// The dominant insert of every 4K-grain workload, lean: no
+		// struct-size switch, no Entry value to build and copy.
+		l.by4K.insert(KindGuest, va>>addr.PageShift4K, pa>>addr.PageShift4K)
+		return
+	}
+	l.structFor(s).insert(KindGuest, addr.PageNumber(va, s), addr.PageNumber(pa, s))
 }
 
 // Flush empties the L1 (guest context switch without PCID).
@@ -477,7 +600,7 @@ func (l *L2) LookupGuest(va uint64) (pa uint64, hit bool) {
 
 // InsertGuest caches a guest 4K translation.
 func (l *L2) InsertGuest(va, pa uint64) {
-	l.c.Insert(Entry{Kind: KindGuest, VPN: va >> addr.PageShift4K, PPN: pa >> addr.PageShift4K, Size: addr.Page4K})
+	l.c.insert(KindGuest, va>>addr.PageShift4K, pa>>addr.PageShift4K)
 }
 
 // LookupNested probes for a nested gPA→hPA translation at 4K grain.
@@ -492,7 +615,7 @@ func (l *L2) LookupNested(gpa uint64) (hpa uint64, hit bool) {
 // InsertNested caches a nested translation in the shared structure.
 func (l *L2) InsertNested(gpa, hpa uint64) {
 	l.nestedInserts++
-	l.c.Insert(Entry{Kind: KindNested, VPN: gpa >> addr.PageShift4K, PPN: hpa >> addr.PageShift4K, Size: addr.Page4K})
+	l.c.insert(KindNested, gpa>>addr.PageShift4K, hpa>>addr.PageShift4K)
 }
 
 // Flush empties the L2.

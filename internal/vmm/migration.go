@@ -101,12 +101,16 @@ func (h *Host) Migrate(vm *VM, dst *Host, dirtied func(pass int) []uint64,
 	}
 	newVM.NPT = npt
 	newVM.buildSlots()
+	dst.acquireOwnerID(newVM)
 
 	// abort releases everything the half-built destination VM holds —
 	// copied frames, owner registrations, nested-table pages — so a
 	// failed migration (destination OOM mid-copy is routine on a dense
 	// host) leaks nothing and leaves both hosts' accounting exact.
-	abort := func() { newVM.releaseAll() }
+	abort := func() {
+		newVM.releaseAll()
+		dst.releaseOwnerID(newVM)
+	}
 
 	copyPage := func(gpa uint64) error {
 		if _, _, ok := vm.NPT.Translate(gpa); !ok {
@@ -190,6 +194,7 @@ func (h *Host) Migrate(vm *VM, dst *Host, dirtied func(pass int) []uint64,
 }
 
 func (h *Host) removeVM(vm *VM) {
+	h.releaseOwnerID(vm)
 	for i, v := range h.vms {
 		if v == vm {
 			h.vms = append(h.vms[:i], h.vms[i+1:]...)

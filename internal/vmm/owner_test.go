@@ -1,0 +1,50 @@
+package vmm
+
+import (
+	"testing"
+
+	"vdirect/internal/addr"
+)
+
+// TestOwnerIDReuse pins the owner-word index recycling: a destroyed
+// VM's ID returns to the free list and the next CreateVM takes it,
+// keeping the packed owner words dense instead of growing the VM table
+// forever under create/destroy churn.
+func TestOwnerIDReuse(t *testing.T) {
+	h, vm1 := newHostVM(t, 64, 8, VMConfig{Name: "a"})
+	id := vm1.id
+	if h.ownerVMs[id] != vm1 {
+		t.Fatalf("owner table slot %d does not hold vm1", id)
+	}
+	if err := h.DestroyVM(vm1); err != nil {
+		t.Fatal(err)
+	}
+	if h.ownerVMs[id] != nil {
+		t.Fatalf("destroyed VM still registered in owner slot %d", id)
+	}
+	cfg := VMConfig{Name: "b", MemorySize: 8 << 20, NestedPageSize: addr.Page4K}
+	vm2, err := h.CreateVM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm2.id != id {
+		t.Fatalf("new VM got id %d, want recycled %d", vm2.id, id)
+	}
+	if h.ownerVMs[id] != vm2 {
+		t.Fatalf("owner table slot %d does not hold vm2", id)
+	}
+}
+
+// TestCreateVMRejectsBadMemorySize: zero and non-page-multiple sizes
+// fail before any host state is touched.
+func TestCreateVMRejectsBadMemorySize(t *testing.T) {
+	h := NewHost(64 << 20)
+	for _, size := range []uint64{0, 0x1001} {
+		if _, err := h.CreateVM(VMConfig{Name: "bad", MemorySize: size}); err == nil {
+			t.Fatalf("CreateVM accepted memory size %#x", size)
+		}
+	}
+	if len(h.vms) != 0 || len(h.ownerVMs) != 0 {
+		t.Fatal("failed CreateVM left host state behind")
+	}
+}

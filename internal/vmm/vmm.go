@@ -28,10 +28,18 @@ type Host struct {
 	Mem *physmem.Memory
 	vms []*VM
 	// owners maps each host frame to the (vm, gpa) backing it, so host
-	// compaction can repair nested mappings. Indexed by frame number; a
-	// nil vm means unowned (free, page-table page, or VMM-internal).
-	owners []backingRef
-	cb     Callbacks
+	// compaction can repair nested mappings. Indexed by frame number and
+	// packed pointer-free (ownerWord) so the array — one word per host
+	// frame, easily megabytes on a dense host — costs the garbage
+	// collector nothing to scan. Zero means unowned (free, page-table
+	// page, or VMM-internal).
+	owners []uint64
+	// ownerVMs resolves the VM index stored in an owner word. Slots are
+	// stable for a VM's lifetime on this host and recycled through
+	// freeIDs after destroy/migrate, so owner words never dangle.
+	ownerVMs []*VM
+	freeIDs  []int
+	cb       Callbacks
 }
 
 // Callbacks notifies an embedding host layer (internal/host) of VMM
@@ -64,9 +72,48 @@ type Callbacks struct {
 // SetCallbacks installs the host-layer callback seam.
 func (h *Host) SetCallbacks(cb Callbacks) { h.cb = cb }
 
-type backingRef struct {
-	vm  *VM
-	gpa uint64
+// Owner words pack (vm index, guest page frame) into one uint64:
+// bit 63 valid, bits 62:40 the VM's ownerVMs index, bits 39:0 the guest
+// page frame number (gpa>>12; the model's 2^52-byte address space needs
+// exactly 40 frame bits).
+const (
+	ownerValid   = uint64(1) << 63
+	ownerIDShift = 40
+	ownerIDMask  = 1<<23 - 1
+	ownerGPBits  = uint64(1)<<ownerIDShift - 1
+)
+
+func ownerWord(id int, gpa uint64) uint64 {
+	return ownerValid | uint64(id)<<ownerIDShift | gpa>>addr.PageShift4K
+}
+
+// ownerRef decodes an owner word; the zero word decodes to (nil, 0).
+func (h *Host) ownerRef(w uint64) (*VM, uint64) {
+	if w == 0 {
+		return nil, 0
+	}
+	return h.ownerVMs[w>>ownerIDShift&ownerIDMask], (w & ownerGPBits) << addr.PageShift4K
+}
+
+// acquireOwnerID registers vm in the owner-word index space.
+func (h *Host) acquireOwnerID(vm *VM) {
+	if n := len(h.freeIDs); n > 0 {
+		vm.id = h.freeIDs[n-1]
+		h.freeIDs = h.freeIDs[:n-1]
+		h.ownerVMs[vm.id] = vm
+		return
+	}
+	vm.id = len(h.ownerVMs)
+	if vm.id > ownerIDMask {
+		panic("vmm: VM index overflows owner word")
+	}
+	h.ownerVMs = append(h.ownerVMs, vm)
+}
+
+// releaseOwnerID recycles vm's slot; no owner word may reference it.
+func (h *Host) releaseOwnerID(vm *VM) {
+	h.ownerVMs[vm.id] = nil
+	h.freeIDs = append(h.freeIDs, vm.id)
 }
 
 // NewHost creates a host machine with size bytes of physical memory.
@@ -74,7 +121,7 @@ func NewHost(size uint64) *Host {
 	mem := physmem.New(physmem.Config{Name: "host", Size: size})
 	return &Host{
 		Mem:    mem,
-		owners: make([]backingRef, mem.Frames()),
+		owners: make([]uint64, mem.Frames()),
 	}
 }
 
@@ -88,8 +135,8 @@ func (h *Host) OwnerVM(frame uint64) (*VM, uint64, bool) {
 	if frame >= uint64(len(h.owners)) {
 		return nil, 0, false
 	}
-	ref := h.owners[frame]
-	return ref.vm, ref.gpa, ref.vm != nil
+	vm, gpa := h.ownerRef(h.owners[frame])
+	return vm, gpa, vm != nil
 }
 
 // MemorySlot maps a contiguous guest physical range to host virtual
@@ -129,6 +176,8 @@ type VM struct {
 	Slots []MemorySlot
 
 	cfg VMConfig
+	// id is this VM's slot in host.ownerVMs while registered there.
+	id int
 	// vmmSeg holds the VM's BASE_V/LIMIT_V/OFFSET_V when enabled.
 	vmmSeg segment.Registers
 	// contig records the host base when backing is one contiguous run;
@@ -167,11 +216,13 @@ func (h *Host) CreateVM(cfg VMConfig) (*VM, error) {
 		return nil, fmt.Errorf("vmm: creating nested page table: %w", err)
 	}
 	vm.NPT = npt
+	h.acquireOwnerID(vm)
 	if err := vm.backAll(); err != nil {
 		// Roll back whatever backing was installed before the failure
 		// (host OOM mid-backing is routine on a dense host), so a failed
 		// CreateVM leaks no host frames or table pages.
 		vm.releaseAll()
+		h.releaseOwnerID(vm)
 		return nil, err
 	}
 	vm.buildSlots()
@@ -271,7 +322,7 @@ func (vm *VM) backContiguous() error {
 		// past the failure point); the mapped prefix is released by
 		// CreateVM's releaseAll rollback, which only sees mapped pages.
 		for f := first; f < first+frames; f++ {
-			if vm.host.owners[f].vm == nil {
+			if vm.host.owners[f] == 0 {
 				vm.host.Mem.FreeFrame(f)
 			}
 		}
@@ -317,38 +368,48 @@ func (vm *VM) backChunked() error {
 func (vm *VM) backChunked4K() error {
 	size := vm.GuestMem.Size()
 	var runStart, runLeft uint64
-	for gpa := uint64(0); gpa < size; gpa += addr.PageSize4K {
+	for gpa := uint64(0); gpa < size; {
 		if vm.gapChunk(gpa, addr.PageSize4K) {
+			gpa += addr.PageSize4K
 			continue
 		}
+		// The chunks left before the next boundary a skipped chunk could
+		// introduce (the I/O gap): both the allocation request and the
+		// bulk map below stop there, so no frame is allocated that the
+		// per-chunk loop would not have taken.
+		limit := size
+		if vm.cfg.IOGap && gpa < addr.IOGapStart && addr.IOGapStart < limit {
+			limit = addr.IOGapStart
+		}
+		span := (limit - gpa) >> addr.PageShift4K
+		if span == 0 {
+			span = 1 // chunk straddling an unaligned boundary
+		}
 		if runLeft == 0 {
-			// Request at most the chunks left before the next boundary a
-			// skipped chunk could introduce (the I/O gap), so no frame is
-			// allocated that the per-chunk loop would not have taken.
-			limit := size
-			if vm.cfg.IOGap && gpa < addr.IOGapStart && addr.IOGapStart < limit {
-				limit = addr.IOGapStart
-			}
-			need := (limit - gpa) >> addr.PageShift4K
-			if need == 0 {
-				need = 1 // chunk straddling an unaligned boundary
-			}
-			first, n, err := vm.host.Mem.AllocRun(need)
+			first, n, err := vm.host.Mem.AllocRun(span)
 			if err != nil {
 				return fmt.Errorf("vmm: backing %s at gPA %#x: %w", vm.Name, gpa, err)
 			}
 			runStart, runLeft = first, n
 		}
+		if span > runLeft {
+			span = runLeft
+		}
 		hpa := physmem.FrameToAddr(runStart)
-		if err := vm.NPT.Map(gpa, hpa, addr.Page4K); err != nil {
-			for f := runStart; f < runStart+runLeft; f++ {
+		// One bulk install for the whole run — page-for-page identical to
+		// the old per-page NPT.Map loop, including table-page allocation
+		// order, but descending once per 2M span.
+		mapped, err := vm.NPT.MapRange4K(gpa, hpa, span)
+		vm.registerBacking(gpa, hpa, mapped<<addr.PageShift4K)
+		if err != nil {
+			for f := runStart + mapped; f < runStart+runLeft; f++ {
 				vm.host.Mem.FreeFrame(f) // unmapped run remainder: releaseAll cannot see it
 			}
 			return err
 		}
-		vm.registerBacking(gpa, hpa, addr.PageSize4K)
-		runStart++
-		runLeft--
+		gpa += span << addr.PageShift4K
+		runStart += span
+		runLeft -= span
 	}
 	return nil
 }
@@ -381,13 +442,13 @@ func (vm *VM) mapBacking(gpaStart, size uint64, hpaFor func(gpa uint64) uint64) 
 
 func (vm *VM) registerBacking(gpa, hpa, size uint64) {
 	for off := uint64(0); off < size; off += addr.PageSize4K {
-		vm.host.owners[physmem.AddrToFrame(hpa+off)] = backingRef{vm: vm, gpa: gpa + off}
+		vm.host.owners[physmem.AddrToFrame(hpa+off)] = ownerWord(vm.id, gpa+off)
 	}
 }
 
 func (vm *VM) unregisterBacking(hpa, size uint64) {
 	for off := uint64(0); off < size; off += addr.PageSize4K {
-		vm.host.owners[physmem.AddrToFrame(hpa+off)] = backingRef{}
+		vm.host.owners[physmem.AddrToFrame(hpa+off)] = 0
 	}
 }
 
@@ -453,8 +514,9 @@ func (vm *VM) DisableVMMSegment() { vm.vmmSeg = segment.Disabled() }
 func (h *Host) Compact() (int, error) {
 	moves := h.Mem.Compact()
 	for _, mv := range moves {
-		ref := h.owners[mv.Old]
-		if ref.vm == nil {
+		w := h.owners[mv.Old]
+		refVM, refGPA := h.ownerRef(w)
+		if refVM == nil {
 			continue // page-table page or other unowned frame: its data
 			// structure holds Go pointers, not addresses, so moving the
 			// physical frame needs no repair in the model.
@@ -463,17 +525,17 @@ func (h *Host) Compact() (int, error) {
 		// frame inside a 2M/1G nested mapping moving alone would split
 		// the mapping. The compactor does not know mappings, so repair
 		// must re-point the 4K leaf.
-		if ref.vm.cfg.NestedPageSize != addr.Page4K {
+		if refVM.cfg.NestedPageSize != addr.Page4K {
 			return 0, fmt.Errorf("vmm: compaction moved frame inside a %v nested mapping",
-				ref.vm.cfg.NestedPageSize)
+				refVM.cfg.NestedPageSize)
 		}
-		if err := ref.vm.NPT.Remap(ref.gpa, physmem.FrameToAddr(mv.New)); err != nil {
+		if err := refVM.NPT.Remap(refGPA, physmem.FrameToAddr(mv.New)); err != nil {
 			return 0, fmt.Errorf("vmm: repairing nested mapping after compaction: %w", err)
 		}
-		h.owners[mv.Old] = backingRef{}
-		h.owners[mv.New] = ref
-		if ref.vm.contig {
-			ref.vm.contig = false // relocation broke linearity
+		h.owners[mv.Old] = 0
+		h.owners[mv.New] = w
+		if refVM.contig {
+			refVM.contig = false // relocation broke linearity
 		}
 	}
 	return len(moves), nil
@@ -634,15 +696,16 @@ func (h *Host) GrowMem(size uint64) (addr.Range, error) {
 	if err != nil {
 		return addr.Range{}, err
 	}
-	h.owners = append(h.owners, make([]backingRef, size>>addr.PageShift4K)...)
+	h.owners = append(h.owners, make([]uint64, size>>addr.PageShift4K)...)
 	return r, nil
 }
 
 // BackedFrames returns how many host frames currently back this VM.
 func (vm *VM) BackedFrames() uint64 {
 	var n uint64
-	for _, ref := range vm.host.owners {
-		if ref.vm == vm {
+	want := ownerValid | uint64(vm.id)<<ownerIDShift
+	for _, w := range vm.host.owners {
+		if w&^ownerGPBits == want {
 			n++
 		}
 	}
